@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""One operation day of the archive, end to end.
+
+Everything the site runs concurrently, in one simulation:
+
+* users submit archive jobs through the day (Poisson arrivals);
+* an ILM policy (written in GPFS policy-rule text) migrates aged data
+  to tape every few hours, with co-location per stream;
+* HSM punches premigrated files whenever the fast pool crosses 80%;
+* the trash sweep reaps deleted files synchronously every 6 hours;
+* a tape drive fails at midday and is repaired two hours later;
+* a utilisation dashboard (PeriodicSampler) watches the trunk, the
+  drives and the fast pool throughout.
+
+Run:  python examples/operations_day.py   (takes ~half a minute)
+"""
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.metrics import (
+    PeriodicSampler,
+    drive_busy_probe,
+    link_utilization_probe,
+    pool_occupancy_probe,
+)
+from repro.pftool import PftoolConfig
+from repro.sim import Environment, RandomStreams
+from repro.tapesim import TapeSpec
+from repro.workloads import JobSpec
+from repro.workloads.generators import materialize_job
+
+MB = 1_000_000
+GB = 1_000_000_000
+HOUR = 3600.0
+DAY = 24 * HOUR
+N_JOBS = 10
+
+
+def main() -> None:
+    env = Environment()
+    system = ParallelArchiveSystem(
+        env,
+        ArchiveParams(
+            n_fta=6, n_disk_servers=3, n_tape_drives=6, n_scratch_tapes=64,
+            tape_spec=TapeSpec(), fast_pool_tb=0.5,  # small pool: pressure!
+        ),
+    )
+    rng = RandomStreams(20090704).stream("opsday")
+    log: list[str] = []
+
+    def say(msg: str) -> None:
+        log.append(f"[{env.now / HOUR:5.1f}h] {msg}")
+
+    dashboard = PeriodicSampler(
+        env,
+        {
+            "trunk": link_utilization_probe(system.topology.fabric, "site-trunk"),
+            "drives": drive_busy_probe(system.library),
+            "fast-pool": pool_occupancy_probe(system.archive_fs, "fast"),
+        },
+        interval=600.0,
+    )
+
+    # --- users archiving through the day --------------------------------
+    completed = []
+
+    def user_job(k: int, start: float):
+        yield env.timeout(start)
+        files = int(rng.integers(20, 80))
+        mean = float(rng.choice([8 * MB, 64 * MB, 256 * MB]))
+        job = JobSpec(k, files, int(files * mean))
+        materialize_job(system.scratch_fs, job, f"/runs/j{k:02d}")
+        cfg = PftoolConfig(num_workers=int(rng.integers(4, 10)),
+                           num_readdir=1, num_tapeprocs=2)
+        stats = yield system.archive(f"/runs/j{k:02d}", f"/arc/j{k:02d}", cfg).done
+        completed.append(stats)
+        say(f"job {k:2d}: {stats.files_copied} files at "
+            f"{stats.data_rate / MB:6.0f} MB/s")
+
+    t = 0.0
+    for k in range(N_JOBS):
+        t += float(rng.exponential(1.2 * HOUR))
+        env.process(user_job(k, t))
+
+    # --- ILM migration every 4 hours (policy text, co-located streams) --
+    def ilm_cron():
+        while env.now < DAY:
+            yield env.timeout(4 * HOUR)
+            _, reports = yield system.apply_policy_text(
+                "RULE 'age-out' MIGRATE FROM POOL 'fast' TO POOL 'hsm' "
+                "WHERE MODIFICATION_AGE > 1 HOURS AND FILE_SIZE > 1 MB"
+            )
+            for r in reports:
+                say(f"ILM migrated {r.files} files / {r.bytes / GB:.1f} GB "
+                    f"(skew {r.skew:.0f}s)")
+            # pool still hot? punch premigrated data instantly
+            if system.archive_fs.pool_occupancy("fast") > 0.8:
+                punched = system.hsm.punch_until("fast", 0.5)
+                say(f"pool pressure: punched {len(punched)} premigrated files")
+
+    env.process(ilm_cron())
+
+    # --- trash sweep every 6 hours ----------------------------------------
+    def sweep_cron():
+        while env.now < DAY:
+            yield env.timeout(6 * HOUR)
+            n = yield system.sweep_trash(min_age=HOUR)
+            if n:
+                say(f"trash sweep: {n} synchronous deletes")
+
+    env.process(sweep_cron())
+
+    # --- a user fat-fingers a delete, then undeletes ----------------------
+    def oops():
+        yield env.timeout(7 * HOUR)
+        victims = [
+            p for p, n in system.archive_fs.walk("/arc")
+            if n.is_file and not p.startswith("/arc/j00/.")
+        ][:3]
+        for v in victims:
+            system.user_delete(v, user="carol")
+        say(f"carol deleted {len(victims)} files (to trashcan)")
+        yield env.timeout(HOUR)
+        if victims and system.undelete(victims[0]):
+            say(f"carol undeleted {victims[0]}")
+
+    env.process(oops())
+
+    # --- midday drive failure ---------------------------------------------
+    def hardware_trouble():
+        yield env.timeout(12 * HOUR)
+        system.library.fail_drive("drv02")
+        say("drv02 FAILED (CE called)")
+        yield env.timeout(2 * HOUR)
+        system.library.repair_drive("drv02")
+        say("drv02 repaired")
+
+    env.process(hardware_trouble())
+
+    env.run(until=DAY)
+    dashboard.stop()
+    env.run()
+
+    print("\n".join(log))
+    print(f"\n=== end of day ===")
+    print(f"jobs completed: {len(completed)} / {N_JOBS}")
+    gb = sum(s.bytes_copied for s in completed) / GB
+    print(f"data archived:  {gb:.1f} GB")
+    print(f"on tape:        {system.library.bytes_on_tape / GB:.1f} GB "
+          f"({system.library.total_mounts} mounts)")
+    print(f"fast pool:      {system.archive_fs.pool_occupancy('fast') * 100:.0f}% "
+          f"(peak {dashboard.peak('fast-pool') * 100:.0f}%)")
+    print(f"trunk peak:     {dashboard.peak('trunk') * 100:.0f}% utilised")
+    print(f"drives peak:    {dashboard.peak('drives') * 100:.0f}% busy")
+
+
+if __name__ == "__main__":
+    main()

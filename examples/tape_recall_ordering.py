@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Tape-ordered recall: the §4.1.2/§4.2.5 optimisation, demonstrated.
+
+Archives a set of mid-size files, migrates them to tape in shuffled
+order (so tape layout differs from namespace order), then retrieves the
+tree twice through PFTool: once with TapeCQ ordering on (sorted by
+volume + tape sequence id from the exported index DB) and once off.
+
+Watch the drive seek seconds: ordered recall reads each tape front to
+back; unordered recall locates all over the reel.
+
+Run:  python examples/tape_recall_ordering.py
+"""
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment, RandomStreams
+from repro.tapesim import TapeSpec
+from repro.workloads import small_file_flood
+
+MB = 1_000_000
+N_FILES = 60
+
+
+def run_retrieve(ordered: bool) -> tuple[float, float]:
+    env = Environment()
+    system = ParallelArchiveSystem(
+        env,
+        ArchiveParams(
+            n_fta=4, n_disk_servers=2, n_tape_drives=2, n_scratch_tapes=8,
+            tape_spec=TapeSpec(load_time=5.0, unload_time=5.0),
+            recall_routing="sticky",
+        ),
+    )
+    paths = small_file_flood(system.archive_fs, "/cold", N_FILES, 30 * MB)
+    rng = RandomStreams(11).stream("shuffle")
+    shuffled = [paths[i] for i in rng.permutation(N_FILES)]
+    env.run(system.hsm.migrate("fta0", shuffled))
+    env.run(system.exporter.run_once())  # refresh the MySQL-substitute
+
+    cfg = PftoolConfig(
+        num_workers=4, num_readdir=1, num_tapeprocs=2,
+        stat_batch=N_FILES, tape_ordering=ordered,
+    )
+    t0 = env.now
+    stats = env.run(system.retrieve("/cold", "/back", cfg).done)
+    assert stats.tape_files_restored == N_FILES
+    return env.now - t0, system.library.total_seek_seconds
+
+
+def main() -> None:
+    t_ord, seek_ord = run_retrieve(True)
+    t_rnd, seek_rnd = run_retrieve(False)
+    print(f"{N_FILES} x 30 MB files recalled from tape")
+    print(f"  tape-ordered: {t_ord:7.1f}s  (drive seek time {seek_ord:7.1f}s)")
+    print(f"  unordered:    {t_rnd:7.1f}s  (drive seek time {seek_rnd:7.1f}s)")
+    print(f"  -> ordering is {t_rnd / t_ord:.1f}x faster, "
+          f"{seek_rnd / max(seek_ord, 0.1):.0f}x less seeking")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — the LANL COTS Parallel Archive System (CLUSTER 2010), rebuilt.
+
+Reproduction of "Integration Experiences and Performance Studies of A
+COTS Parallel Archive System" (Chen et al., LANL / IEEE CLUSTER 2010):
+the GPFS + TSM + PFTool parallel tape archive deployed for Roadrunner's
+Open Science runs, implemented end to end on a deterministic
+discrete-event simulator.
+
+Start with :class:`repro.archive.ParallelArchiveSystem` (the whole
+Figure-7 site) and :mod:`repro.pftool` (the pfls/pfcp/pfcm commands);
+see README.md for the tour and DESIGN.md for the substitution map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "archive",
+    "baselines",
+    "cli",
+    "disksim",
+    "fusefs",
+    "hsm",
+    "metrics",
+    "mpisim",
+    "netsim",
+    "pfs",
+    "pftool",
+    "search",
+    "sim",
+    "tapedb",
+    "tapesim",
+    "tsm",
+    "workloads",
+]

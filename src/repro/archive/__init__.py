@@ -1,0 +1,28 @@
+"""The integrated COTS Parallel Archive System (paper §4).
+
+:class:`ParallelArchiveSystem` wires every substrate together exactly as
+Figure 7 deploys them: the scratch parallel file system behind a
+2x10GigE trunk, ten FTA nodes running PFTool, the archive GPFS with fast
+and slow disk pools on five NSD servers, the 24-drive LTO-4 library with
+LAN-free TSM, the MySQL-substitute tape index, ArchiveFUSE, the
+trashcan + synchronous deleter, and the chroot command policy.
+
+Operations: ``archive()`` (pfcp scratch->archive), ``retrieve()``
+(pfcp archive->scratch with tape-ordered recall), ``pfls``/``pfcm``,
+policy-driven ``migrate_to_tape()`` with the size-balanced parallel
+migrator (§4.2.4), ``user_delete()``/``sweep_trash()`` (§4.2.6-4.2.7).
+"""
+
+from repro.archive.chroot import CommandPolicy
+from repro.archive.deleter import SynchronousDeleter, Trashcan
+from repro.archive.migrator import BalancedMigrator
+from repro.archive.system import ArchiveParams, ParallelArchiveSystem
+
+__all__ = [
+    "ArchiveParams",
+    "BalancedMigrator",
+    "CommandPolicy",
+    "ParallelArchiveSystem",
+    "SynchronousDeleter",
+    "Trashcan",
+]

@@ -1,0 +1,53 @@
+"""The chroot-jail command policy (§4.2.3).
+
+The archive's login environment is a chroot with a curated command set:
+tape-aware tools (pfls/pfcp/pfcm) are in; indiscriminate file scanners
+("the grep from &*&(*&", §3.1 issue 1) are out, because they would
+recall files from tape in arbitrary order and thrash the drives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["CommandPolicy"]
+
+#: commands the paper's jail exposes (file management is "all free")
+DEFAULT_ALLOWED = frozenset(
+    {
+        "ls", "cp", "mv", "rm", "mkdir", "rmdir", "tar", "cat", "stat",
+        "pfls", "pfcp", "pfcm", "pfdu", "undelete",
+    }
+)
+
+#: commands that scan file *contents* indiscriminately — tape poison
+DEFAULT_DENIED = frozenset({"grep", "egrep", "fgrep", "find -exec", "md5sum -r"})
+
+
+class CommandPolicy:
+    """Allow/deny decisions for user commands inside the jail."""
+
+    def __init__(
+        self,
+        allowed: Iterable[str] = DEFAULT_ALLOWED,
+        denied: Iterable[str] = DEFAULT_DENIED,
+    ) -> None:
+        self.allowed = frozenset(allowed)
+        self.denied = frozenset(denied)
+
+    def is_allowed(self, command: str) -> bool:
+        name = command.strip().split()[0] if command.strip() else ""
+        if command.strip() in self.denied or name in self.denied:
+            return False
+        return name in self.allowed
+
+    def check(self, command: str) -> None:
+        """Raise :class:`PermissionError` for a denied command."""
+        if not self.is_allowed(command):
+            raise PermissionError(
+                f"command not available in the archive jail: {command!r} "
+                "(use the tape-aware pfls/pfcp/pfcm tools)"
+            )
+
+    def __repr__(self) -> str:
+        return f"<CommandPolicy {len(self.allowed)} allowed>"

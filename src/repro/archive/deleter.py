@@ -1,0 +1,186 @@
+"""Trashcan + synchronous deleter (§4.2.6, §4.2.7).
+
+Deleting a migrated file from GPFS alone orphans its tape object; the
+classic fix (reconcile) walks everything and is unaffordable.  The
+paper's design:
+
+* users never unlink directly — the jail's ``rm`` **renames into a
+  trashcan** (per-user, like the Windows Recycle Bin), from which
+  ``undelete`` is possible;
+* an administrative sweep lists trashcan entries by age/size via the
+  GPFS policy engine and hands them to the **synchronous deleter**,
+  which looks up the GPFS file id and the TSM object id (via the
+  indexed tape DB) and deletes *both sides at the same time* — no
+  orphans, no reconcile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.pfs import GpfsFileSystem, PathError
+from repro.sim import AllOf, Environment, Event, SimulationError
+from repro.tapedb import TapeIndexDB
+from repro.tsm import TsmServer
+
+__all__ = ["SynchronousDeleter", "Trashcan"]
+
+
+@dataclass
+class TrashEntry:
+    """Bookkeeping for one trashed path."""
+
+    trash_path: str
+    original_path: str
+    user: str
+    trashed_at: float
+    size: int
+    tsm_object_id: Optional[int]
+
+
+class Trashcan:
+    """Per-user trash directories on the archive file system."""
+
+    def __init__(self, fs: GpfsFileSystem, root: str = "/.trash") -> None:
+        self.fs = fs
+        self.root = root
+        fs.mkdir(root, parents=True)
+        self._seq = itertools.count(1)
+        self.entries: dict[str, TrashEntry] = {}
+
+    def trash(self, path: str, user: str = "root") -> TrashEntry:
+        """Move *path* into the user's trashcan (the jail's ``rm``)."""
+        inode = self.fs.lookup(path)
+        if inode.is_dir:
+            raise SimulationError("trash operates on files (rm -r expands first)")
+        udir = f"{self.root}/{user}"
+        if not self.fs.exists(udir):
+            self.fs.mkdir(udir, parents=True)
+        tpath = f"{udir}/t{next(self._seq):08d}"
+        self.fs.rename(path, tpath)
+        entry = TrashEntry(
+            trash_path=tpath,
+            original_path=path,
+            user=user,
+            trashed_at=self.fs.env.now,
+            size=inode.size,
+            tsm_object_id=inode.tsm_object_id,
+        )
+        self.entries[tpath] = entry
+        return entry
+
+    def undelete(self, original_path: str) -> bool:
+        """Restore the most recently trashed instance of *original_path*."""
+        candidates = [
+            e for e in self.entries.values() if e.original_path == original_path
+        ]
+        if not candidates:
+            return False
+        entry = max(candidates, key=lambda e: e.trashed_at)
+        if self.fs.exists(original_path):
+            raise SimulationError(f"cannot undelete over existing {original_path!r}")
+        self.fs.rename(entry.trash_path, original_path)
+        del self.entries[entry.trash_path]
+        return True
+
+    def list_older_than(self, age: float) -> list[TrashEntry]:
+        """The policy-engine list feeding the sweep (age-based)."""
+        now = self.fs.env.now
+        return sorted(
+            (e for e in self.entries.values() if now - e.trashed_at >= age),
+            key=lambda e: e.trashed_at,
+        )
+
+    def pop(self, trash_path: str) -> Optional[TrashEntry]:
+        return self.entries.pop(trash_path, None)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class SynchronousDeleter:
+    """Deletes file-system entry and tape object at the same time.
+
+    Needs administrator powers: the GPFS file-id lookup and the TSM
+    delete are privileged (§4.2.6), which is why user deletes go through
+    the trashcan first.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fs: GpfsFileSystem,
+        tsm: TsmServer,
+        tapedb: Optional[TapeIndexDB] = None,
+        filespace: str = "archive",
+    ) -> None:
+        self.env = env
+        self.fs = fs
+        self.tsm = tsm
+        self.tapedb = tapedb
+        self.filespace = filespace
+        self.deleted_files = 0
+        self.deleted_objects = 0
+
+    def delete_entries(self, entries: Sequence[TrashEntry]) -> Event:
+        """Synchronously delete trashcan entries; fires with the count."""
+        done = self.env.event()
+        entries = list(entries)
+
+        def _proc():
+            count = 0
+            for e in entries:
+                oid = e.tsm_object_id
+                if oid is None and self.tapedb is not None:
+                    # deleted-then-exported files: resolve via the index
+                    loc = self.tapedb.object_for_path(
+                        self.filespace, e.original_path
+                    )
+                    oid = loc.object_id if loc else None
+                ops = []
+                try:
+                    ops.append(self.fs.unlink_op(e.trash_path))
+                except PathError:
+                    pass
+                if oid is not None:
+                    ops.append(self.tsm.delete_object(oid))
+                if ops:
+                    yield AllOf(self.env, ops)
+                if oid is not None:
+                    self.deleted_objects += 1
+                    if self.tapedb is not None:
+                        self.tapedb.remove(oid)
+                self.deleted_files += 1
+                count += 1
+            done.succeed(count)
+
+        self.env.process(_proc(), name="sync-delete")
+        return done
+
+    def delete_path(self, path: str) -> Event:
+        """Directly sync-delete a live path (admin shortcut, used for the
+        overwrite-orphan case the FUSE layer intercepts)."""
+        done = self.env.event()
+
+        def _proc():
+            try:
+                inode = self.fs.lookup(path)
+            except PathError:
+                done.succeed(0)
+                return
+            oid = inode.tsm_object_id
+            ops = [self.fs.unlink_op(path)]
+            if oid is not None:
+                ops.append(self.tsm.delete_object(oid))
+            yield AllOf(self.env, ops)
+            if oid is not None:
+                self.deleted_objects += 1
+                if self.tapedb is not None:
+                    self.tapedb.remove(oid)
+            self.deleted_files += 1
+            done.succeed(1)
+
+        self.env.process(_proc(), name="sync-delete-path")
+        return done

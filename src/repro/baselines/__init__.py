@@ -1,0 +1,16 @@
+"""Baselines the paper compares against (implicitly or explicitly).
+
+* :class:`SerialArchiver` — the "non-parallel archive storage system
+  with about 70 MB/sec archival bandwidth" of §5.2: one mover node with
+  a single GigE-class NIC, store-and-forward, one file at a time.
+* :class:`GpfsNativeMigrator` — GPFS's own parallel migration execution
+  (§4.2.4's foil): no size balancing, and processes may all land on one
+  machine.
+* the reconcile-based deleter baseline lives in
+  :class:`repro.hsm.ReconcileAgent` (§4.2.6's foil).
+"""
+
+from repro.baselines.native_migrator import GpfsNativeMigrator
+from repro.baselines.serial import SerialArchiver
+
+__all__ = ["GpfsNativeMigrator", "SerialArchiver"]

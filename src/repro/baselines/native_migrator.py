@@ -1,0 +1,87 @@
+"""GPFS's native migration execution, as §4.2.4 criticises it.
+
+Two deficiencies relative to the balanced migrator:
+
+* candidates are split by **file count in scan order**, not by bytes —
+  "one process may be responsible for all of the large files in the
+  list while another has nothing but small files";
+* the migration processes may all be created **on a single machine
+  despite multiple machines being available**.
+
+``spread=False`` reproduces the single-machine failure mode;
+``spread=True`` spreads by round-robin count (still size-oblivious).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.archive.migrator import MigrationReport
+from repro.hsm import HsmManager
+from repro.pfs.policy import PolicyHit
+from repro.sim import AllOf, Environment, Event
+
+__all__ = ["GpfsNativeMigrator"]
+
+
+class GpfsNativeMigrator:
+    """Size-oblivious migration driver (the A3 baseline)."""
+
+    def __init__(self, env: Environment, hsm: HsmManager, spread: bool = True):
+        self.env = env
+        self.hsm = hsm
+        self.spread = spread
+
+    @staticmethod
+    def partition_round_robin(
+        hits: Sequence[PolicyHit], nodes: Sequence[str]
+    ) -> dict[str, list[PolicyHit]]:
+        """Count-balanced, size-oblivious split in scan (inode) order."""
+        buckets: dict[str, list[PolicyHit]] = {n: [] for n in nodes}
+        for i, hit in enumerate(hits):
+            buckets[nodes[i % len(nodes)]].append(hit)
+        return buckets
+
+    def migrate(
+        self,
+        hits: Sequence[PolicyHit],
+        aggregate: bool = False,
+        punch: bool = True,
+    ) -> Event:
+        done = self.env.event()
+        hits = list(hits)
+        nodes = list(self.hsm.nodes) if self.spread else [self.hsm.nodes[0]]
+
+        def _proc():
+            t0 = self.env.now
+            report = MigrationReport()
+            buckets = self.partition_round_robin(hits, nodes)
+            report.assignment = {
+                n: (len(b), sum(h.inode.size for h in b))
+                for n, b in buckets.items()
+            }
+            watchers = []
+            for node, bucket in buckets.items():
+                if not bucket:
+                    report.node_finish[node] = self.env.now
+                    continue
+                ev = self.hsm.migrate(
+                    node, [h.path for h in bucket],
+                    aggregate=aggregate, punch=punch,
+                    collocation_group=node,
+                )
+
+                def _watch(ev=ev, node=node):
+                    yield ev
+                    report.node_finish[node] = self.env.now
+
+                watchers.append(self.env.process(_watch()))
+            if watchers:
+                yield AllOf(self.env, watchers)
+            report.files = len(hits)
+            report.bytes = sum(h.inode.size for h in hits)
+            report.duration = self.env.now - t0
+            done.succeed(report)
+
+        self.env.process(_proc(), name="native-migrate")
+        return done

@@ -1,0 +1,95 @@
+"""The non-parallel archive comparator (§5.2's ~70 MB/s).
+
+A classic single-node archiver: one mover machine with a GigE-class
+NIC, copying one file at a time with store-and-forward (read the file,
+then write it — no read/write overlap, no parallel streams).  On a
+125 MB/s NIC, store-and-forward alone caps throughput at ~62 MB/s,
+which is exactly the class of system the paper benchmarks its ~575 MB/s
+average against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pfs import GpfsFileSystem
+from repro.sim import Environment, Event
+
+__all__ = ["SerialArchiver", "SerialResult"]
+
+MB = 1_000_000
+
+
+@dataclass
+class SerialResult:
+    files: int = 0
+    bytes: int = 0
+    duration: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        return self.bytes / self.duration if self.duration > 0 else 0.0
+
+
+class SerialArchiver:
+    """One mover node, one stream, no overlap.
+
+    Parameters
+    ----------
+    mover_node:
+        Fabric node the mover runs on.  Attach it with a GigE-class link
+        (the default topology helper does this) — the node's NIC is the
+        bottleneck, as in the real systems of that era.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        src_fs: GpfsFileSystem,
+        dst_fs: GpfsFileSystem,
+        mover_node: str,
+        per_file_overhead: float = 0.05,
+    ) -> None:
+        self.env = env
+        self.src_fs = src_fs
+        self.dst_fs = dst_fs
+        self.mover_node = mover_node
+        self.per_file_overhead = per_file_overhead
+
+    @staticmethod
+    def attach_mover(system, nic_bw: float = 125 * MB, name: str = "serial-mover") -> str:
+        """Add the mover node to an archive site's fabric (GigE NIC)."""
+        fab = system.topology.fabric
+        fab.add_link("archive-lan", name, capacity=nic_bw, latency=100e-6,
+                     name=f"nic-{name}")
+        return name
+
+    def archive_tree(self, src_root: str, dst_root: str) -> Event:
+        """Walk and copy sequentially; fires with a :class:`SerialResult`."""
+        done = self.env.event()
+
+        def _proc():
+            t0 = self.env.now
+            result = SerialResult()
+            self.dst_fs.mkdir(dst_root, parents=True)
+            for path, inode in list(self.src_fs.walk(src_root)):
+                rel = path[len(src_root):].lstrip("/")
+                dst = f"{dst_root}/{rel}" if rel else dst_root
+                if inode.is_dir:
+                    if rel:
+                        self.dst_fs.mkdir(dst, parents=True)
+                    continue
+                yield self.env.timeout(self.per_file_overhead)
+                # store... (read fully to the mover)
+                _, token = yield self.src_fs.read_file(self.mover_node, path)
+                # ...and forward (write out of the mover)
+                yield self.dst_fs.write_file(
+                    self.mover_node, dst, inode.size, token=token
+                )
+                result.files += 1
+                result.bytes += inode.size
+            result.duration = self.env.now - t0
+            done.succeed(result)
+
+        self.env.process(_proc(), name="serial-archiver")
+        return done

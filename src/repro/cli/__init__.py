@@ -1,0 +1,14 @@
+"""Command-line front ends.
+
+The real PFTool ships ``pfls`` / ``pfcp`` / ``pfcm`` binaries users run
+inside the archive jail.  Since this reproduction is a simulator, the
+CLI builds a self-contained demo site, seeds it with a parameterised
+workload, runs the corresponding job, and prints the PFTool report —
+useful for exploring tunables (worker counts, chunk sizes, tape
+ordering) without writing a script.
+
+* ``repro-pfcp``  — parallel copy scratch -> archive
+* ``repro-pfls``  — parallel listing after an archive
+* ``repro-pfcm``  — archive then verify
+* ``repro-bench`` — print the experiment index and per-experiment notes
+"""

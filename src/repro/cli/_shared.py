@@ -1,0 +1,80 @@
+"""Shared argument parsing and site construction for the CLI tools."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+from repro.workloads import JobSpec
+from repro.workloads.generators import materialize_job
+
+__all__ = ["add_common_args", "build_site", "build_workload", "cfg_from_args"]
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+_UNITS = {"k": 1_000, "kb": 1_000, "m": MB, "mb": MB, "g": GB, "gb": GB,
+          "t": 1_000 * GB, "tb": 1_000 * GB}
+
+
+def parse_size(text: str) -> int:
+    """'50MB', '4g', '1024' -> bytes."""
+    t = text.strip().lower()
+    for suffix, mult in sorted(_UNITS.items(), key=lambda kv: -len(kv[0])):
+        if t.endswith(suffix):
+            return int(float(t[: -len(suffix)]) * mult)
+    return int(float(t))
+
+
+def add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--files", type=int, default=64,
+                        help="number of files in the demo workload")
+    parser.add_argument("--size", type=parse_size, default=50 * MB,
+                        help="mean file size (e.g. 50MB, 2GB)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="PFTool Worker ranks")
+    parser.add_argument("--readdir", type=int, default=2,
+                        help="PFTool ReadDir ranks")
+    parser.add_argument("--tapeprocs", type=int, default=4,
+                        help="PFTool TapeProc ranks")
+    parser.add_argument("--fta", type=int, default=10, help="FTA nodes")
+    parser.add_argument("--drives", type=int, default=24, help="tape drives")
+    parser.add_argument("--chunk-size", type=parse_size, default=2 * GB,
+                        help="N-to-1 copy chunk size")
+    parser.add_argument("--no-tape-order", action="store_true",
+                        help="disable tape-ordered recall")
+    parser.add_argument("--seed", type=int, default=2009)
+
+
+def build_site(args) -> tuple[Environment, ParallelArchiveSystem]:
+    env = Environment()
+    system = ParallelArchiveSystem(
+        env,
+        ArchiveParams(
+            n_fta=args.fta,
+            n_disk_servers=max(2, args.fta // 2),
+            n_tape_drives=args.drives,
+            n_scratch_tapes=max(16, args.drives * 2),
+            tape_spec=TapeSpec(),
+        ),
+    )
+    return env, system
+
+
+def build_workload(args, system) -> str:
+    job = JobSpec(args.seed, args.files, args.files * args.size)
+    materialize_job(system.scratch_fs, job, "/scratch-data", seed=args.seed)
+    return "/scratch-data"
+
+
+def cfg_from_args(args) -> PftoolConfig:
+    return PftoolConfig(
+        num_workers=args.workers,
+        num_readdir=args.readdir,
+        num_tapeprocs=args.tapeprocs,
+        copy_chunk_size=args.chunk_size,
+        tape_ordering=not args.no_tape_order,
+    )

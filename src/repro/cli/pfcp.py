@@ -1,0 +1,44 @@
+"""``repro-pfcp``: run a parallel archive copy on the simulated site."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._shared import (
+    add_common_args,
+    build_site,
+    build_workload,
+    cfg_from_args,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-pfcp",
+        description="Parallel copy (pfcp) on the simulated COTS archive: "
+        "seeds a scratch workload, archives it, prints the PFTool report.",
+    )
+    add_common_args(parser)
+    parser.add_argument("--migrate", action="store_true",
+                        help="also migrate the archived files to tape")
+    args = parser.parse_args(argv)
+
+    env, system = build_site(args)
+    src = build_workload(args, system)
+    job = system.archive(src, "/archive/data", cfg_from_args(args))
+    stats = env.run(job.done)
+    print(stats.report())
+    if args.migrate:
+        report = env.run(system.migrate_to_tape())
+        print(
+            f"migrated {report.files} files / {report.bytes / 1e9:.1f} GB "
+            f"to tape in {report.duration:.0f}s "
+            f"(skew {report.skew:.0f}s across {len(report.assignment)} nodes)"
+        )
+    return 1 if stats.aborted else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Disk array simulation.
+
+Models the archive's disk tiers (the 100 TB fast FC pool and the "slow"
+SATA pool for small files) as bandwidth servers with per-operation
+positioning latency and capacity accounting.  Contention between concurrent
+readers/writers of one array is fluid fair-sharing, reusing the netsim
+allocator machinery.
+"""
+
+from repro.disksim.array import DiskArray, DiskOpResult
+
+__all__ = ["DiskArray", "DiskOpResult"]

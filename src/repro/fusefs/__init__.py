@@ -1,0 +1,17 @@
+"""ArchiveFUSE: the chunking interposition layer (§4.1.2, §4.2.7).
+
+Very large files (paper: >100 GB) cannot be archived efficiently as one
+object: an N-to-1 parallel write suffers shared-file overheads and the
+single tape object serialises on one drive.  ArchiveFUSE presents one
+logical file backed by N physical chunk files, so
+
+* PFTool's N workers each write their own chunk (N-to-N),
+* HSM migrates/recalls chunks to/from *different tapes in parallel*,
+* overwrite/truncate can be intercepted: old chunks move to a trashcan
+  for synchronous deletion instead of becoming tape orphans (§6.3), and
+* per-chunk good/bad markers give restartable transfers (§4.5).
+"""
+
+from repro.fusefs.archivefuse import ArchiveFuseFS, ChunkRef
+
+__all__ = ["ArchiveFuseFS", "ChunkRef"]

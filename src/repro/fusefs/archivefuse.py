@@ -1,0 +1,252 @@
+"""The ArchiveFUSE file system view over a GPFS instance.
+
+A *logical* large file ``/proj/huge.dat`` is stored as::
+
+    /proj/huge.dat              <- manifest (zero-byte marker inode)
+    /.fuse/proj/huge.dat/c0000  <- chunk files, fuse_chunk_size each
+    /.fuse/proj/huge.dat/c0001
+    ...
+
+The manifest inode's xattrs record the logical size, chunk size, and a
+per-chunk completion bitmap (the §4.5 "mark chunks good or bad" restart
+feature).  Unlink/overwrite of a logical file *renames* its chunks into
+the trashcan directory instead of deleting, so the synchronous deleter
+can reap them with their tape copies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pfs import GpfsFileSystem, PathError
+from repro.sim import Environment, Event, SimulationError
+
+__all__ = ["ArchiveFuseFS", "ChunkRef"]
+
+
+class ChunkRef:
+    """One chunk of a logical file."""
+
+    __slots__ = ("index", "path", "offset", "length")
+
+    def __init__(self, index: int, path: str, offset: int, length: int) -> None:
+        self.index = index
+        self.path = path
+        self.offset = offset
+        self.length = length
+
+    def __repr__(self) -> str:
+        return f"<ChunkRef {self.index} {self.path} [{self.offset}+{self.length}]>"
+
+
+_XATTR = "__fuse__"
+
+
+class ArchiveFuseFS:
+    """Chunked view over *fs*.
+
+    Parameters
+    ----------
+    fs:
+        The backing GPFS instance (the archive file system).
+    chunk_size:
+        Physical chunk size (the paper's runtime-tunable "Fuse
+        ChunkSize"; tens of GB in production).
+    chunk_root, trash_root:
+        Directories for chunk files and the trashcan.
+    """
+
+    def __init__(
+        self,
+        fs: GpfsFileSystem,
+        chunk_size: int = 32 * 1024**3,
+        chunk_root: str = "/.fuse",
+        trash_root: str = "/.trashcan",
+    ) -> None:
+        if chunk_size <= 0:
+            raise SimulationError("chunk_size must be positive")
+        self.fs = fs
+        self.env: Environment = fs.env
+        self.chunk_size = int(chunk_size)
+        self.chunk_root = chunk_root
+        self.trash_root = trash_root
+        fs.mkdir(chunk_root, parents=True)
+        fs.mkdir(trash_root, parents=True)
+        self._trash_seq = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def chunk_dir(self, path: str) -> str:
+        return f"{self.chunk_root}{path}"
+
+    def plan_chunks(self, path: str, size: int) -> list[ChunkRef]:
+        """Chunk layout for a logical file of *size* bytes."""
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        refs = []
+        off = 0
+        i = 0
+        cdir = self.chunk_dir(path)
+        while off < size:
+            length = min(self.chunk_size, size - off)
+            refs.append(ChunkRef(i, f"{cdir}/c{i:04d}", off, length))
+            off += length
+            i += 1
+        if not refs:  # zero-byte logical file still gets a manifest
+            return []
+        return refs
+
+    def is_fuse_file(self, path: str) -> bool:
+        try:
+            return _XATTR in self.fs.lookup(path).xattrs
+        except PathError:
+            return False
+
+    def manifest(self, path: str) -> dict:
+        inode = self.fs.lookup(path)
+        try:
+            return inode.xattrs[_XATTR]
+        except KeyError:
+            raise SimulationError(f"{path!r} is not an ArchiveFUSE file") from None
+
+    def chunks(self, path: str) -> list[ChunkRef]:
+        man = self.manifest(path)
+        return self.plan_chunks(path, man["size"])
+
+    def logical_size(self, path: str) -> int:
+        return self.manifest(path)["size"]
+
+    # ------------------------------------------------------------------
+    # create / write / read
+    # ------------------------------------------------------------------
+    def create_large(
+        self, path: str, size: int, pool: Optional[str] = None
+    ) -> Event:
+        """Provision a logical file: manifest + sized chunk files.
+
+        Overwriting an existing logical file first moves its chunks to
+        the trashcan (the interception that fixes §6.3).  Fires with the
+        list of :class:`ChunkRef`.
+        """
+        done = self.env.event()
+
+        def _proc():
+            if self.is_fuse_file(path):
+                yield self._trash_chunks(path)
+            refs = self.plan_chunks(path, size)
+            # manifest
+            try:
+                manifest = self.fs.lookup(path)
+            except PathError:
+                parent = path.rsplit("/", 1)[0] or "/"
+                self.fs.mkdir(parent, parents=True)
+                manifest = self.fs.namespace.create(path, self.env.now)
+            manifest.xattrs[_XATTR] = {
+                "size": int(size),
+                "chunk_size": self.chunk_size,
+                "good": [False] * len(refs),
+            }
+            if refs:
+                self.fs.mkdir(self.chunk_dir(path), parents=True)
+            for ref in refs:
+                yield self.fs.create_sized(ref.path, ref.length, pool=pool)
+            done.succeed(refs)
+
+        self.env.process(_proc(), name=f"fuse-create {path}")
+        return done
+
+    def write_chunk(self, client: str, path: str, index: int) -> Event:
+        """One worker filling one chunk (the N-to-N write). Fires with
+        the ChunkRef and marks it good in the manifest."""
+        done = self.env.event()
+
+        def _proc():
+            refs = self.chunks(path)
+            if not (0 <= index < len(refs)):
+                done.fail(SimulationError(f"{path!r}: no chunk {index}"))
+                return
+            ref = refs[index]
+            yield self.fs.write_range(client, ref.path, 0, ref.length)
+            self.manifest(path)["good"][index] = True
+            done.succeed(ref)
+
+        self.env.process(_proc(), name=f"fuse-write {path}#{index}")
+        return done
+
+    def read_chunk(self, client: str, path: str, index: int) -> Event:
+        done = self.env.event()
+
+        def _proc():
+            refs = self.chunks(path)
+            if not (0 <= index < len(refs)):
+                done.fail(SimulationError(f"{path!r}: no chunk {index}"))
+                return
+            ref = refs[index]
+            _, token = yield self.fs.read_file(client, ref.path)
+            done.succeed(ref)
+
+        self.env.process(_proc(), name=f"fuse-read {path}#{index}")
+        return done
+
+    # -- restart support (§4.5) -----------------------------------------
+    def good_chunks(self, path: str) -> list[int]:
+        return [i for i, g in enumerate(self.manifest(path)["good"]) if g]
+
+    def pending_chunks(self, path: str) -> list[int]:
+        return [i for i, g in enumerate(self.manifest(path)["good"]) if not g]
+
+    def mark_bad(self, path: str, index: int) -> None:
+        """Invalidate a chunk (e.g. detected corruption mid-transfer)."""
+        good = self.manifest(path)["good"]
+        if not (0 <= index < len(good)):
+            raise SimulationError(f"{path!r}: no chunk {index}")
+        good[index] = False
+
+    def is_complete(self, path: str) -> bool:
+        return all(self.manifest(path)["good"])
+
+    # ------------------------------------------------------------------
+    # unlink / truncate interception
+    # ------------------------------------------------------------------
+    def unlink(self, path: str) -> Event:
+        """Remove a logical file: chunks go to the trashcan, manifest
+        disappears.  Fires with the list of trashed chunk paths."""
+        done = self.env.event()
+
+        def _proc():
+            trashed = yield self._trash_chunks(path)
+            self.fs.namespace.unlink(path)
+            done.succeed(trashed)
+
+        self.env.process(_proc(), name=f"fuse-unlink {path}")
+        return done
+
+    def _trash_chunks(self, path: str) -> Event:
+        """Rename every chunk of *path* into the trashcan."""
+        done = self.env.event()
+
+        def _proc():
+            refs = self.chunks(path)
+            trashed = []
+            for ref in refs:
+                if not self.fs.exists(ref.path):
+                    continue
+                self._trash_seq += 1
+                dst = f"{self.trash_root}/fusechunk.{self._trash_seq}"
+                if self.fs.metadata_op_time:
+                    yield self.env.timeout(self.fs.metadata_op_time)
+                self.fs.rename(ref.path, dst)
+                trashed.append(dst)
+            cdir = self.chunk_dir(path)
+            if self.fs.exists(cdir):
+                self.fs.namespace.unlink(cdir)
+            man = self.manifest(path)
+            man["good"] = [False] * len(man["good"])
+            done.succeed(trashed)
+
+        self.env.process(_proc(), name=f"fuse-trash {path}")
+        return done
+
+    def __repr__(self) -> str:
+        return f"<ArchiveFuseFS chunk={self.chunk_size/1e9:.0f}GB on {self.fs.name}>"

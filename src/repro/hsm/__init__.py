@@ -1,0 +1,17 @@
+"""HSM: the space-management glue between GPFS and TSM.
+
+* :class:`HsmManager` — premigrate/migrate files to tape (optionally
+  aggregating small files), punch stubs, and serve recalls through
+  per-node **recall daemons** with pluggable request routing:
+  ``naive`` routing reproduces the §6.2 thrashing (no tape affinity
+  across nodes -> label re-verification storms); ``sticky`` routes all
+  requests for one volume to one node (the paper's proposed fix).
+* :class:`ReconcileAgent` — the classic tree-walk reconciliation between
+  file system and tape the paper works hard to avoid (§4.2.6): needed as
+  the baseline for experiment E3.
+"""
+
+from repro.hsm.manager import HsmManager, RecallRequest
+from repro.hsm.reconcile import ReconcileAgent, ReconcileReport
+
+__all__ = ["HsmManager", "RecallRequest", "ReconcileAgent", "ReconcileReport"]

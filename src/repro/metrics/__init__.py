@@ -1,0 +1,27 @@
+"""Measurement helpers: summary statistics and figure-series rendering.
+
+Benches use these to print the same rows/series the paper reports —
+per-job log10 series for Figures 8/9/11, rate series for Figure 10, and
+paper-vs-measured comparison tables for EXPERIMENTS.md.
+"""
+
+from repro.metrics.stats import describe, geometric_mean, log10_histogram
+from repro.metrics.figures import comparison_table, render_series
+from repro.metrics.timeseries import (
+    PeriodicSampler,
+    drive_busy_probe,
+    link_utilization_probe,
+    pool_occupancy_probe,
+)
+
+__all__ = [
+    "PeriodicSampler",
+    "comparison_table",
+    "describe",
+    "drive_busy_probe",
+    "geometric_mean",
+    "link_utilization_probe",
+    "log10_histogram",
+    "pool_occupancy_probe",
+    "render_series",
+]

@@ -1,0 +1,51 @@
+"""Rendering figure series and paper-comparison tables as text."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.stats import describe
+
+__all__ = ["comparison_table", "render_series"]
+
+
+def render_series(
+    title: str,
+    values: Sequence[float],
+    unit: str = "",
+    log10: bool = False,
+    width: int = 60,
+) -> str:
+    """ASCII sparkline + stats for one per-job series (a paper figure)."""
+    arr = np.asarray(values, dtype=float)
+    lines = [f"== {title} ({len(arr)} jobs) =="]
+    if arr.size:
+        plot = np.log10(np.maximum(arr, 1e-12)) if log10 else arr
+        lo, hi = plot.min(), plot.max()
+        span = (hi - lo) or 1.0
+        glyphs = " .:-=+*#%@"
+        row = "".join(
+            glyphs[min(9, int((v - lo) / span * 9))] for v in plot[:width]
+        )
+        lines.append(f"  [{row}]" + ("  (log10 scale)" if log10 else ""))
+        d = describe(arr)
+        lines.append(
+            f"  min={d['min']:.4g}{unit} max={d['max']:.4g}{unit} "
+            f"mean={d['mean']:.4g}{unit} median={d['median']:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Iterable[tuple[str, float, float]],
+    headers: tuple[str, str, str] = ("metric", "paper", "measured"),
+) -> str:
+    """Render (metric, paper value, measured value) rows with ratios."""
+    out = [f"{headers[0]:<28} {headers[1]:>14} {headers[2]:>14} {'ratio':>8}"]
+    out.append("-" * 68)
+    for name, paper, measured in rows:
+        ratio = measured / paper if paper else float("nan")
+        out.append(f"{name:<28} {paper:>14.4g} {measured:>14.4g} {ratio:>8.3f}")
+    return "\n".join(out)

@@ -1,0 +1,46 @@
+"""Summary statistics over per-job series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["describe", "geometric_mean", "log10_histogram"]
+
+
+def describe(values: Iterable[float]) -> dict:
+    """min / max / mean / median / p10 / p90 / count of a series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {k: 0.0 for k in ("min", "max", "mean", "median", "p10", "p90")} | {
+            "count": 0
+        }
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p10": float(np.percentile(arr, 10)),
+        "p90": float(np.percentile(arr, 90)),
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def log10_histogram(
+    values: Iterable[float], bins: Sequence[float] | int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of log10(values) — the scale Figures 8/9 plot on."""
+    arr = np.asarray(list(values), dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("log10 histogram needs positive values")
+    return np.histogram(np.log10(arr), bins=bins)

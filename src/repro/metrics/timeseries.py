@@ -1,0 +1,112 @@
+"""Periodic sampling of simulation state into time series.
+
+Archive operators live on utilisation dashboards (trunk load, drives
+mounted, pool fill).  :class:`PeriodicSampler` probes arbitrary
+callables on an interval and accumulates ``(t, value)`` series; the
+ready-made probes cover the quantities this reproduction's experiments
+care about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.sim import Environment
+
+__all__ = [
+    "PeriodicSampler",
+    "drive_busy_probe",
+    "link_utilization_probe",
+    "pool_occupancy_probe",
+]
+
+
+class PeriodicSampler:
+    """Samples named probes every *interval* simulated seconds.
+
+    Starts immediately on construction; call :meth:`stop` to cease (the
+    sampler otherwise keeps the simulation alive under ``env.run()``
+    without ``until`` — so prefer ``env.run(until=...)`` or stop it).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        probes: Mapping[str, Callable[[], float]],
+        interval: float = 1.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = interval
+        self.probes = dict(probes)
+        self.times: list[float] = []
+        self.series: dict[str, list[float]] = {k: [] for k in self.probes}
+        self._stopped = False
+        env.process(self._run(), name="sampler")
+
+    def _run(self):
+        while not self._stopped:
+            yield self.env.timeout(self.interval)
+            if self._stopped:
+                return
+            self.times.append(self.env.now)
+            for name, probe in self.probes.items():
+                self.series[name].append(float(probe()))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- analysis -----------------------------------------------------------
+    def as_array(self, name: str) -> np.ndarray:
+        return np.asarray(self.series[name], dtype=float)
+
+    def mean(self, name: str) -> float:
+        arr = self.as_array(name)
+        return float(arr.mean()) if arr.size else 0.0
+
+    def peak(self, name: str) -> float:
+        arr = self.as_array(name)
+        return float(arr.max()) if arr.size else 0.0
+
+    def time_above(self, name: str, threshold: float) -> float:
+        """Seconds the probe spent at or above *threshold*."""
+        arr = self.as_array(name)
+        return float((arr >= threshold).sum()) * self.interval
+
+    def __repr__(self) -> str:
+        return (
+            f"<PeriodicSampler probes={sorted(self.probes)} "
+            f"samples={len(self.times)}>"
+        )
+
+
+def link_utilization_probe(fabric, link_name: str) -> Callable[[], float]:
+    """Fraction of a link's capacity currently allocated to flows."""
+    link = fabric.links[link_name]
+
+    def probe() -> float:
+        used = sum(
+            f.rate for f in fabric.active_flows
+            if link in f.links and f.rate != float("inf")
+        )
+        return used / link.capacity if link.capacity else 0.0
+
+    return probe
+
+
+def drive_busy_probe(library) -> Callable[[], float]:
+    """Fraction of the library's drives currently executing operations."""
+
+    def probe() -> float:
+        busy = sum(1 for d in library.drives if d.busy)
+        return busy / len(library.drives) if library.drives else 0.0
+
+    return probe
+
+
+def pool_occupancy_probe(fs, pool_name: str) -> Callable[[], float]:
+    """Storage pool fill fraction (the MIGRATE threshold driver)."""
+    return lambda: fs.pool_occupancy(pool_name)

@@ -1,0 +1,13 @@
+"""Simulated MPI communicator for PFTool's rank-structured processes.
+
+PFTool is an MPI program (Manager / OutPutProc / ReadDir / Worker /
+TapeProc / WatchDog ranks exchanging request/assign/result messages).
+:class:`SimComm` reproduces the message-passing discipline inside the
+DES: each rank has a mailbox, ``send`` is asynchronous with a small
+latency, ``recv`` blocks with optional source/tag selection — enough of
+MPI's semantics to port the paper's process structure verbatim.
+"""
+
+from repro.mpisim.comm import ANY_SOURCE, ANY_TAG, Message, SimComm
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "SimComm"]

@@ -1,0 +1,112 @@
+"""Rank-addressed message passing on the DES.
+
+Semantics (the subset of MPI that PFTool uses):
+
+* ``send(src, dst, payload, tag)`` — buffered, non-blocking; the message
+  lands in *dst*'s mailbox after ``latency`` simulated seconds.
+* ``recv(rank, source=ANY_SOURCE, tag=ANY_TAG)`` — blocks until a
+  matching message is available; returns the :class:`Message`.
+  Matching is FIFO among eligible messages (MPI ordering guarantee per
+  (source, tag) pair is preserved because each pair's messages keep
+  their relative order in the mailbox).
+* no rendezvous / ready modes — PFTool only posts small control
+  messages; bulk data rides the fabric, not the communicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim import Environment, Event, FilterStore, SimulationError
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "SimComm"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+
+
+class SimComm:
+    """A communicator with a fixed number of ranks.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    size:
+        Number of ranks (0 .. size-1).
+    latency:
+        Per-message delivery delay in seconds (control-plane messages on
+        a 10GigE cluster: tens of microseconds).
+    """
+
+    def __init__(self, env: Environment, size: int, latency: float = 5e-5) -> None:
+        if size < 1:
+            raise SimulationError("communicator needs at least one rank")
+        self.env = env
+        self.size = size
+        self.latency = latency
+        self._mailboxes = [FilterStore(env) for _ in range(size)]
+        self.messages_sent = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise SimulationError(f"rank {rank} out of range 0..{self.size - 1}")
+
+    def send(self, src: int, dst: int, payload: Any, tag: int = 0) -> None:
+        """Buffered send; returns immediately (delivery is delayed)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if tag < 0:
+            raise SimulationError("tags must be non-negative (negatives are wildcards)")
+        self.messages_sent += 1
+        msg = Message(src, dst, tag, payload)
+        if self.latency > 0:
+
+            def _deliver():
+                yield self.env.timeout(self.latency)
+                yield self._mailboxes[dst].put(msg)
+
+            self.env.process(_deliver(), name=f"mpi-send-{src}->{dst}")
+        else:
+            self._mailboxes[dst].put(msg)
+
+    def recv(
+        self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Event:
+        """Blocking receive; event fires with a :class:`Message`."""
+        self._check_rank(rank)
+
+        def _match(msg: Message) -> bool:
+            if source != ANY_SOURCE and msg.source != source:
+                return False
+            if tag != ANY_TAG and msg.tag != tag:
+                return False
+            return True
+
+        return self._mailboxes[rank].get(_match)
+
+    def pending(self, rank: int) -> int:
+        """Messages waiting in *rank*'s mailbox (probe-ish)."""
+        self._check_rank(rank)
+        return len(self._mailboxes[rank].items)
+
+    def broadcast(self, src: int, payload: Any, tag: int = 0) -> None:
+        """Send to every other rank (a loop of sends, like PFTool's
+        shutdown fan-out)."""
+        for dst in range(self.size):
+            if dst != src:
+                self.send(src, dst, payload, tag)
+
+    def __repr__(self) -> str:
+        return f"<SimComm size={self.size} sent={self.messages_sent}>"

@@ -1,0 +1,427 @@
+"""Capacitated link graph with fluid flows and dynamic fair sharing.
+
+A :class:`Fabric` owns nodes and directed :class:`Link` s.  Data movement is
+expressed as :meth:`Fabric.transfer` (a DES process event) or as a long-lived
+:class:`Flow` opened/closed explicitly.  Every flow arrival or departure
+triggers a global re-allocation via :func:`max_min_fair_rates`; in-flight
+flows have their accrued bytes banked and their completion re-projected.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.netsim.maxmin import max_min_fair_rates
+from repro.sim import Environment, Event
+
+__all__ = ["Fabric", "Flow", "Link", "TransferResult"]
+
+#: flows with fewer residual bytes than this are considered complete —
+#: guards against float livelock where now + remaining/rate == now
+EPS_BYTES = 1e-6
+
+
+class Link:
+    """A directed capacitated edge between two fabric nodes."""
+
+    __slots__ = ("name", "src", "dst", "capacity", "latency")
+
+    def __init__(
+        self, name: str, src: str, dst: str, capacity: float, latency: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"link {name}: capacity must be positive")
+        if latency < 0:
+            raise ValueError(f"link {name}: latency must be non-negative")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        #: bytes per second
+        self.capacity = float(capacity)
+        #: one-way propagation delay in seconds
+        self.latency = float(latency)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.src}->{self.dst} {self.capacity/1e6:.0f} MB/s>"
+
+
+@dataclass
+class TransferResult:
+    """Completion record returned by :meth:`Fabric.transfer`."""
+
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    end: float
+    tag: Any = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Average achieved rate in bytes/s (inf for instantaneous)."""
+        d = self.duration
+        return self.nbytes / d if d > 0 else float("inf")
+
+
+class Flow:
+    """An active fluid flow across a route of links."""
+
+    __slots__ = (
+        "fid",
+        "src",
+        "dst",
+        "links",
+        "nbytes",
+        "remaining",
+        "rate",
+        "rate_cap",
+        "weight",
+        "start",
+        "tag",
+        "done",
+        "_last_update",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        src: str,
+        dst: str,
+        links: list[Link],
+        nbytes: float,
+        done: Event,
+        rate_cap: float = float("inf"),
+        weight: float = 1.0,
+        tag: Any = None,
+        start: float = 0.0,
+    ) -> None:
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.links = links
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.rate_cap = rate_cap
+        self.weight = weight
+        self.start = start
+        self.tag = tag
+        self.done = done
+        self._last_update = start
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow #{self.fid} {self.src}->{self.dst} "
+            f"{self.remaining:.0f}/{self.nbytes:.0f}B @{self.rate/1e6:.1f}MB/s>"
+        )
+
+
+class Fabric:
+    """Graph of links with shortest-path routing and fair-shared flows.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    name:
+        Label used in reprs and stats.
+
+    Notes
+    -----
+    * Routing is static shortest-path (hop count, then total latency, then
+      lexicographic link names for determinism), computed on demand and
+      cached.  Explicit routes can be registered with :meth:`set_route`.
+    * Rate re-allocation is O(flows x avg route length) per flow event —
+      fine at archive scale (tens to hundreds of concurrent movers).
+    """
+
+    def __init__(self, env: Environment, name: str = "fabric") -> None:
+        self.env = env
+        self.name = name
+        self.nodes: set[str] = set()
+        self.links: dict[str, Link] = {}
+        self._adj: dict[str, list[Link]] = {}
+        self._route_cache: dict[tuple[str, str], list[Link]] = {}
+        self._flows: dict[int, Flow] = {}
+        self._fid = itertools.count(1)
+        #: cumulative bytes delivered, for utilisation accounting
+        self.bytes_delivered = 0.0
+        self._completion_proc_running = False
+        self._wakeup: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> str:
+        self.nodes.add(name)
+        self._adj.setdefault(name, [])
+        return name
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity: float,
+        latency: float = 0.0,
+        duplex: bool = True,
+        name: Optional[str] = None,
+    ) -> tuple[Link, Optional[Link]]:
+        """Add a link (and its reverse if *duplex*); returns (fwd, rev)."""
+        self.add_node(src)
+        self.add_node(dst)
+        base = name or f"{src}->{dst}"
+        if base in self.links:
+            raise ValueError(f"duplicate link name {base!r}")
+        fwd = Link(base, src, dst, capacity, latency)
+        self.links[base] = fwd
+        self._adj[src].append(fwd)
+        rev = None
+        if duplex:
+            rname = f"{dst}->{src}" if name is None else f"{name}:rev"
+            rev = Link(rname, dst, src, capacity, latency)
+            self.links[rname] = rev
+            self._adj[dst].append(rev)
+        self._route_cache.clear()
+        return fwd, rev
+
+    def set_link_capacity(self, name: str, capacity: float) -> None:
+        """Change a link's capacity at runtime (degradation / repair).
+
+        In-flight flows have their progress banked at the old rates,
+        then everything is re-allocated against the new capacity — so a
+        trunk going degraded mid-transfer slows exactly the flows that
+        cross it, from this instant on.
+        """
+        if capacity <= 0:
+            raise ValueError(f"link {name}: capacity must be positive")
+        try:
+            link = self.links[name]
+        except KeyError:
+            raise KeyError(f"no link named {name!r}") from None
+        link.capacity = float(capacity)
+        self._reallocate()
+
+    def set_route(self, src: str, dst: str, links: Iterable[Link]) -> None:
+        """Pin an explicit route for (src, dst)."""
+        route = list(links)
+        for a, b in zip(route, route[1:]):
+            if a.dst != b.src:
+                raise ValueError(f"route is not contiguous at {a.name}->{b.name}")
+        if route:
+            if route[0].src != src or route[-1].dst != dst:
+                raise ValueError("route endpoints do not match src/dst")
+        self._route_cache[(src, dst)] = route
+
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Shortest path from *src* to *dst* (empty list if src == dst)."""
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown node in route {src!r}->{dst!r}")
+        # Dijkstra on (hops, latency, path-names) for deterministic routes.
+        best: dict[str, tuple[int, float, tuple[str, ...]]] = {src: (0, 0.0, ())}
+        prev: dict[str, Link] = {}
+        pq: list[tuple[int, float, tuple[str, ...], str]] = [(0, 0.0, (), src)]
+        visited: set[str] = set()
+        while pq:
+            hops, lat, names, node = heapq.heappop(pq)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for lk in self._adj[node]:
+                cand = (hops + 1, lat + lk.latency, names + (lk.name,))
+                if lk.dst not in best or cand < best[lk.dst]:
+                    best[lk.dst] = cand
+                    prev[lk.dst] = lk
+                    heapq.heappush(pq, cand + (lk.dst,))
+        if dst not in prev:
+            raise ValueError(f"no route from {src!r} to {dst!r} in {self.name}")
+        path: list[Link] = []
+        node = dst
+        while node != src:
+            lk = prev[node]
+            path.append(lk)
+            node = lk.src
+        path.reverse()
+        self._route_cache[key] = path
+        return path
+
+    # ------------------------------------------------------------------
+    # flows
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> list[Flow]:
+        return list(self._flows.values())
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        rate_cap: float = float("inf"),
+        weight: float = 1.0,
+        tag: Any = None,
+    ) -> Event:
+        """Move *nbytes* from *src* to *dst*; returns an event that fires
+        with a :class:`TransferResult` when the last byte arrives.
+
+        A zero-byte transfer still pays one round of route latency.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        done = self.env.event()
+        links = self.route(src, dst)
+        latency = sum(lk.latency for lk in links)
+        start = self.env.now
+
+        if nbytes == 0 or (not links and rate_cap == float("inf")):
+            # Instantaneous (modulo latency) completion.
+            def _finish_quick() -> Iterable[Event]:
+                if latency > 0:
+                    yield self.env.timeout(latency)
+                done.succeed(
+                    TransferResult(src, dst, int(nbytes), start, self.env.now, tag)
+                )
+                self.bytes_delivered += nbytes
+
+            self.env.process(_finish_quick(), name=f"xfer-quick-{src}->{dst}")
+            return done
+
+        flow = Flow(
+            next(self._fid),
+            src,
+            dst,
+            links,
+            nbytes,
+            done,
+            rate_cap=rate_cap,
+            weight=weight,
+            tag=tag,
+            start=start,
+        )
+
+        def _run() -> Iterable[Event]:
+            if latency > 0:
+                yield self.env.timeout(latency)
+            flow.start = self.env.now
+            flow._last_update = self.env.now
+            self._flows[flow.fid] = flow
+            self._reallocate()
+            yield done  # completion is driven by the engine process
+
+        self.env.process(_run(), name=f"xfer-{src}->{dst}")
+        return done
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def _bank_progress(self) -> None:
+        """Accrue bytes sent at current rates since the last update."""
+        now = self.env.now
+        for flow in self._flows.values():
+            dt = now - flow._last_update
+            if flow.rate == float("inf"):
+                moved = flow.remaining
+                flow.remaining = 0.0
+                self.bytes_delivered += moved
+            elif dt > 0 and flow.rate > 0:
+                moved = min(flow.remaining, flow.rate * dt)
+                flow.remaining -= moved
+                self.bytes_delivered += moved
+                if flow.remaining <= EPS_BYTES:
+                    self.bytes_delivered += flow.remaining
+                    flow.remaining = 0.0
+            flow._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute fair rates and poke the completion engine."""
+        self._bank_progress()
+        self._retire_finished()
+        self._recompute_rates()
+        self._kick_engine()
+
+    def _retire_finished(self) -> None:
+        for f in [f for f in self._flows.values() if f.remaining <= EPS_BYTES]:
+            del self._flows[f.fid]
+            f.done.succeed(
+                TransferResult(f.src, f.dst, int(f.nbytes), f.start, self.env.now, f.tag)
+            )
+
+    def _recompute_rates(self) -> None:
+        if not self._flows:
+            return
+        rates = max_min_fair_rates(
+            {f.fid: [lk.name for lk in f.links] for f in self._flows.values()},
+            {name: lk.capacity for name, lk in self.links.items()},
+            flow_weight={f.fid: f.weight for f in self._flows.values()},
+            rate_cap={f.fid: f.rate_cap for f in self._flows.values()},
+        )
+        for f in self._flows.values():
+            f.rate = rates[f.fid]
+
+    def _kick_engine(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+        elif not self._completion_proc_running and self._flows:
+            self._completion_proc_running = True
+            self.env.process(self._engine(), name=f"{self.name}-engine")
+
+    def _next_completion(self) -> float:
+        t = float("inf")
+        for f in self._flows.values():
+            if f.rate > 0:
+                t = min(t, f.remaining / f.rate)
+        return t
+
+    def _engine(self) -> Iterable[Event]:
+        """Sleeps until the earliest projected completion, retires flows,
+        reallocates, repeats.  Woken early by :meth:`_reallocate` when the
+        flow set changes."""
+        try:
+            while self._flows:
+                dt = self._next_completion()
+                if dt == float("inf"):
+                    # All flows stalled (shouldn't happen); wait for a change.
+                    self._wakeup = self.env.event()
+                    yield self._wakeup
+                    self._wakeup = None
+                    continue
+                if self.env.now + dt == self.env.now:
+                    # dt is below the clock's float resolution: the nearly
+                    # finished flows can never drain by timing out — finish
+                    # them directly to avoid a zero-delay livelock.
+                    for f in self._flows.values():
+                        if f.rate > 0 and f.remaining / f.rate <= dt * (1 + 1e-9):
+                            self.bytes_delivered += f.remaining
+                            f.remaining = 0.0
+                    self._retire_finished()
+                    self._recompute_rates()
+                    continue
+                self._wakeup = self.env.event()
+                expiry = self.env.timeout(dt)
+                yield expiry | self._wakeup
+                self._wakeup = None
+                self._bank_progress()
+                self._retire_finished()
+                self._recompute_rates()
+        finally:
+            self._completion_proc_running = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Fabric {self.name!r} nodes={len(self.nodes)} links={len(self.links)}"
+            f" flows={len(self._flows)}>"
+        )

@@ -1,0 +1,48 @@
+"""GPFS-class parallel file system model.
+
+Implements the subset of IBM GPFS 3.2 the paper's archive leans on:
+
+* a POSIX-ish namespace (directories, files, rename, unlink) backed by
+  numbered inodes;
+* **block striping** of file data across NSD disk servers, so one file's
+  I/O runs in parallel across arrays and a client's bandwidth emerges
+  from fabric + array contention;
+* **storage pools** — classes of service holding disk arrays ("fast" FC
+  pool, "slow" SATA pool) plus *external* pools that name an HSM back end
+  (GPFS 3.2's external-pool extension, §4.2.1);
+* the **ILM policy engine**: PLACEMENT rules route new files to pools,
+  MIGRATE/LIST rules scan the metadata at GPFS's fast inode-scan rate and
+  hand candidate lists to callbacks (the paper's parallel data migrator
+  consumes LIST output);
+* **DMAPI-style managed regions**: HSM punches a file to a stub
+  (``MIGRATED``) and a registered recall handler is invoked when a reader
+  touches the stub — exactly how TSM HSM rides on GPFS.
+
+Facade: :class:`GpfsFileSystem`.
+"""
+
+from repro.pfs.filesystem import GpfsFileSystem
+from repro.pfs.inode import FileKind, HsmState, Inode
+from repro.pfs.namespace import Namespace, PathError
+from repro.pfs.policy import ListRule, MigrateRule, PlacementRule, PolicyEngine
+from repro.pfs.policy_lang import PolicyParseError, parse_policy
+from repro.pfs.pools import ExternalPool, StoragePool
+from repro.pfs.striping import StripeLayout
+
+__all__ = [
+    "ExternalPool",
+    "FileKind",
+    "GpfsFileSystem",
+    "HsmState",
+    "Inode",
+    "ListRule",
+    "MigrateRule",
+    "Namespace",
+    "PathError",
+    "PlacementRule",
+    "PolicyEngine",
+    "PolicyParseError",
+    "StoragePool",
+    "StripeLayout",
+    "parse_policy",
+]

@@ -1,0 +1,219 @@
+"""The GPFS ILM policy engine (placement, migration, list rules).
+
+Rules hold Python predicates over ``(path, inode, now)`` — the moral
+equivalent of GPFS's SQL-ish WHERE clauses — plus the structural fields
+(source/target pool, thresholds, weight expression).
+
+:meth:`PolicyEngine.apply` is a simulation process: it walks the inode
+file at the measured GPFS metadata-scan rate (the paper quotes one
+million inodes in ten minutes, §4.2.1) and evaluates every rule in one
+pass, so experiment code pays a faithful scan cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.pfs.inode import HsmState, Inode
+from repro.pfs.namespace import Namespace
+from repro.sim import Environment, Event
+
+__all__ = [
+    "ListRule",
+    "MigrateRule",
+    "PlacementRule",
+    "PolicyEngine",
+    "PolicyHit",
+    "PolicyResult",
+]
+
+Predicate = Callable[[str, Inode, float], bool]
+Weight = Callable[[str, Inode, float], float]
+
+
+@dataclass(frozen=True)
+class PolicyHit:
+    """One file selected by a rule."""
+
+    path: str
+    inode: Inode
+
+
+@dataclass(frozen=True)
+class PlacementRule:
+    """``RULE name SET POOL pool WHERE where`` — consulted at create time."""
+
+    name: str
+    pool: str
+    where: Optional[Predicate] = None
+
+    def matches(self, path: str, inode: Inode, now: float) -> bool:
+        return self.where is None or self.where(path, inode, now)
+
+
+@dataclass(frozen=True)
+class MigrateRule:
+    """``RULE name MIGRATE FROM POOL src [THRESHOLD(hi,lo)] TO POOL dst``.
+
+    With thresholds, the rule only fires when the source pool's occupancy
+    exceeds ``threshold_high`` %, and selects files (heaviest first by
+    *weight*) until occupancy would drop to ``threshold_low`` %.
+    """
+
+    name: str
+    from_pool: str
+    to_pool: str
+    where: Optional[Predicate] = None
+    threshold_high: Optional[float] = None
+    threshold_low: Optional[float] = None
+    weight: Optional[Weight] = None
+
+    def matches(self, path: str, inode: Inode, now: float) -> bool:
+        if not inode.is_file or inode.pool != self.from_pool:
+            return False
+        if inode.hsm_state is not HsmState.RESIDENT:
+            return False  # already has a tape copy / is a stub
+        return self.where is None or self.where(path, inode, now)
+
+
+@dataclass(frozen=True)
+class ListRule:
+    """``RULE name LIST list_name WHERE where`` — emits candidate lists.
+
+    The paper's parallel data migrator is driven from a LIST rule rather
+    than GPFS's own MIGRATE execution (§4.2.4).
+    """
+
+    name: str
+    list_name: str
+    where: Optional[Predicate] = None
+
+    def matches(self, path: str, inode: Inode, now: float) -> bool:
+        if not inode.is_file:
+            return False
+        return self.where is None or self.where(path, inode, now)
+
+
+@dataclass
+class PolicyResult:
+    """Outcome of one policy scan."""
+
+    scanned: int = 0
+    duration: float = 0.0
+    lists: dict[str, list[PolicyHit]] = field(default_factory=dict)
+    migrations: dict[str, list[PolicyHit]] = field(default_factory=dict)
+
+
+#: The paper's measured GPFS scan speed: 1e6 inodes / 10 minutes.
+PAPER_SCAN_RATE = 1_000_000 / 600.0
+
+
+class PolicyEngine:
+    """Evaluates rules against a namespace with a timed metadata scan."""
+
+    def __init__(
+        self,
+        env: Environment,
+        namespace: Namespace,
+        scan_rate: float = PAPER_SCAN_RATE,
+    ) -> None:
+        if scan_rate <= 0:
+            raise ValueError("scan_rate must be positive")
+        self.env = env
+        self.namespace = namespace
+        self.scan_rate = scan_rate
+        self.placement_rules: list[PlacementRule] = []
+        self.default_pool: Optional[str] = None
+
+    # -- placement (synchronous: consulted inline on create) -------------
+    def add_placement(self, rule: PlacementRule) -> None:
+        self.placement_rules.append(rule)
+
+    def place(self, path: str, inode: Inode, now: float) -> Optional[str]:
+        """First matching placement rule wins (GPFS semantics)."""
+        for rule in self.placement_rules:
+            if rule.matches(path, inode, now):
+                return rule.pool
+        return self.default_pool
+
+    # -- scan-based rules ----------------------------------------------
+    def apply(
+        self,
+        rules: Iterable[MigrateRule | ListRule],
+        pool_occupancy: Optional[Callable[[str], float]] = None,
+        pool_capacity: Optional[Callable[[str], float]] = None,
+    ) -> Event:
+        """Run a policy scan; event fires with a :class:`PolicyResult`.
+
+        *pool_occupancy(name)* / *pool_capacity(name)* feed THRESHOLD
+        evaluation for MIGRATE rules; omit them if no rule uses thresholds.
+        """
+        rules = list(rules)
+        done = self.env.event()
+
+        def _proc():
+            t0 = self.env.now
+            result = PolicyResult()
+            entries = list(self.namespace.iter_inodes())
+            result.scanned = len(entries)
+            # Charge the scan as one block (GPFS scans are batch jobs).
+            yield self.env.timeout(len(entries) / self.scan_rate)
+            now = self.env.now
+            migrate_hits: dict[str, list[PolicyHit]] = {}
+            for path, inode in entries:
+                for rule in rules:
+                    if isinstance(rule, ListRule):
+                        if rule.matches(path, inode, now):
+                            result.lists.setdefault(rule.list_name, []).append(
+                                PolicyHit(path, inode)
+                            )
+                    else:
+                        if rule.matches(path, inode, now):
+                            migrate_hits.setdefault(rule.name, []).append(
+                                PolicyHit(path, inode)
+                            )
+            for rule in rules:
+                if not isinstance(rule, MigrateRule):
+                    continue
+                hits = migrate_hits.get(rule.name, [])
+                if rule.threshold_high is not None:
+                    if pool_occupancy is None or pool_capacity is None:
+                        raise ValueError(
+                            f"rule {rule.name!r} has thresholds but no pool "
+                            "occupancy/capacity callbacks were supplied"
+                        )
+                    occ = pool_occupancy(rule.from_pool) * 100.0
+                    if occ <= rule.threshold_high:
+                        result.migrations[rule.name] = []
+                        continue
+                    cap = pool_capacity(rule.from_pool)
+                    target_used = (rule.threshold_low or 0.0) / 100.0 * cap
+                    need_to_free = pool_occupancy(rule.from_pool) * cap - target_used
+                    if rule.weight is not None:
+                        hits = sorted(
+                            hits,
+                            key=lambda h: rule.weight(h.path, h.inode, now),
+                            reverse=True,
+                        )
+                    chosen: list[PolicyHit] = []
+                    freed = 0.0
+                    for h in hits:
+                        if freed >= need_to_free:
+                            break
+                        chosen.append(h)
+                        freed += h.inode.resident_bytes
+                    result.migrations[rule.name] = chosen
+                else:
+                    if rule.weight is not None:
+                        hits = sorted(
+                            hits,
+                            key=lambda h: rule.weight(h.path, h.inode, now),
+                            reverse=True,
+                        )
+                    result.migrations[rule.name] = hits
+            result.duration = self.env.now - t0
+            done.succeed(result)
+
+        self.env.process(_proc(), name="policy-scan")
+        return done

@@ -1,0 +1,322 @@
+"""A parser for GPFS-style policy rule text.
+
+Real deployments of the paper's archive drive everything through
+``mmapplypolicy`` rule files.  This module compiles the same surface
+syntax into :mod:`repro.pfs.policy` rule objects::
+
+    RULE 'small-files' SET POOL 'slow' WHERE FILE_SIZE < 1 MB
+    RULE 'spill' MIGRATE FROM POOL 'fast' THRESHOLD(90,70)
+         TO POOL 'hsm' WEIGHT(FILE_SIZE) WHERE ACCESS_AGE > 30 DAYS
+    RULE 'cands' LIST 'tape-candidates'
+         WHERE PATH_NAME LIKE '/proj/%' AND FILE_SIZE >= 100 MB
+
+Supported attributes
+    ``FILE_SIZE`` (bytes), ``NAME`` (basename), ``PATH_NAME``,
+    ``POOL_NAME``, ``USER_ID``, ``ACCESS_AGE`` / ``MODIFICATION_AGE`` /
+    ``CREATION_AGE`` (seconds since the respective timestamp).
+
+Operators
+    ``= != < <= > >= LIKE AND OR NOT ( )``; numeric literals accept
+    ``KB/MB/GB/TB`` and age literals accept
+    ``SECONDS/MINUTES/HOURS/DAYS``; strings use single quotes with SQL
+    ``%``/``_`` wildcards under ``LIKE``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.pfs.inode import Inode
+from repro.pfs.policy import ListRule, MigrateRule, PlacementRule
+
+__all__ = ["PolicyParseError", "parse_policy"]
+
+
+class PolicyParseError(ValueError):
+    """Raised on malformed policy text, with token position context."""
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>/\*.*?\*/)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,)
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_SIZE_UNITS = {"KB": 10**3, "MB": 10**6, "GB": 10**9, "TB": 10**12,
+               "KIB": 2**10, "MIB": 2**20, "GIB": 2**30, "TIB": 2**40}
+_AGE_UNITS = {"SECONDS": 1, "SECOND": 1, "MINUTES": 60, "MINUTE": 60,
+              "HOURS": 3600, "HOUR": 3600, "DAYS": 86400, "DAY": 86400}
+
+
+@dataclass(frozen=True)
+class _Tok:
+    kind: str  # 'string' | 'number' | 'op' | 'word'
+    text: str
+    pos: int
+
+
+def _lex(text: str) -> list[_Tok]:
+    toks: list[_Tok] = []
+    i = 0
+    while i < len(text):
+        m = _TOKEN_RE.match(text, i)
+        if m is None:
+            raise PolicyParseError(
+                f"unexpected character {text[i]!r} at offset {i}"
+            )
+        i = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        value = m.group()
+        if kind == "word":
+            value = value.upper() if value.upper() in _KEYWORDS else value
+        toks.append(_Tok(kind, value, m.start()))
+    return toks
+
+
+_KEYWORDS = {
+    "RULE", "SET", "POOL", "WHERE", "MIGRATE", "FROM", "TO", "LIST",
+    "THRESHOLD", "WEIGHT", "AND", "OR", "NOT", "LIKE", "TRUE", "FALSE",
+    *_SIZE_UNITS, *_AGE_UNITS,
+    "FILE_SIZE", "NAME", "PATH_NAME", "POOL_NAME", "USER_ID",
+    "ACCESS_AGE", "MODIFICATION_AGE", "CREATION_AGE",
+}
+
+Predicate = Callable[[str, Inode, float], bool]
+Valuer = Callable[[str, Inode, float], Union[float, str]]
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.toks = _lex(text)
+        self.i = 0
+
+    # -- token helpers -----------------------------------------------------
+    def _peek(self) -> Optional[_Tok]:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def _next(self) -> _Tok:
+        tok = self._peek()
+        if tok is None:
+            raise PolicyParseError("unexpected end of policy text")
+        self.i += 1
+        return tok
+
+    def _expect(self, text: str) -> _Tok:
+        tok = self._next()
+        if tok.text != text:
+            raise PolicyParseError(
+                f"expected {text!r} but found {tok.text!r} at offset {tok.pos}"
+            )
+        return tok
+
+    def _accept(self, text: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.text == text:
+            self.i += 1
+            return True
+        return False
+
+    def _string(self) -> str:
+        tok = self._next()
+        if tok.kind != "string":
+            raise PolicyParseError(
+                f"expected a quoted string at offset {tok.pos}, got {tok.text!r}"
+            )
+        return tok.text[1:-1].replace("''", "'")
+
+    def _number(self) -> float:
+        tok = self._next()
+        if tok.kind != "number":
+            raise PolicyParseError(
+                f"expected a number at offset {tok.pos}, got {tok.text!r}"
+            )
+        value = float(tok.text)
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "word":
+            unit = nxt.text.upper()
+            if unit in _SIZE_UNITS:
+                self.i += 1
+                value *= _SIZE_UNITS[unit]
+            elif unit in _AGE_UNITS:
+                self.i += 1
+                value *= _AGE_UNITS[unit]
+        return value
+
+    # -- rules ---------------------------------------------------------------
+    def parse(self) -> list[Union[PlacementRule, MigrateRule, ListRule]]:
+        rules = []
+        while self._peek() is not None:
+            rules.append(self._rule())
+        if not rules:
+            raise PolicyParseError("policy text contains no rules")
+        return rules
+
+    def _rule(self):
+        self._expect("RULE")
+        name = self._string()
+        tok = self._next()
+        if tok.text == "SET":
+            self._expect("POOL")
+            pool = self._string()
+            where = self._opt_where()
+            return PlacementRule(name, pool, where)
+        if tok.text == "MIGRATE":
+            self._expect("FROM")
+            self._expect("POOL")
+            from_pool = self._string()
+            hi = lo = None
+            if self._accept("THRESHOLD"):
+                self._expect("(")
+                hi = self._number()
+                self._expect(",")
+                lo = self._number()
+                self._expect(")")
+            self._expect("TO")
+            self._expect("POOL")
+            to_pool = self._string()
+            weight = None
+            if self._accept("WEIGHT"):
+                self._expect("(")
+                weight = self._value_expr()
+                self._expect(")")
+            where = self._opt_where()
+            return MigrateRule(
+                name, from_pool, to_pool, where=where,
+                threshold_high=hi, threshold_low=lo, weight=weight,
+            )
+        if tok.text == "LIST":
+            list_name = self._string()
+            where = self._opt_where()
+            return ListRule(name, list_name, where)
+        raise PolicyParseError(
+            f"expected SET/MIGRATE/LIST at offset {tok.pos}, got {tok.text!r}"
+        )
+
+    def _opt_where(self) -> Optional[Predicate]:
+        if self._accept("WHERE"):
+            return self._or_expr()
+        return None
+
+    # -- boolean expressions --------------------------------------------------
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._accept("OR"):
+            right = self._and_expr()
+            left = (lambda l, r: lambda p, i, now: l(p, i, now) or r(p, i, now))(
+                left, right
+            )
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self._accept("AND"):
+            right = self._not_expr()
+            left = (lambda l, r: lambda p, i, now: l(p, i, now) and r(p, i, now))(
+                left, right
+            )
+        return left
+
+    def _not_expr(self) -> Predicate:
+        if self._accept("NOT"):
+            inner = self._not_expr()
+            return lambda p, i, now: not inner(p, i, now)
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        if self._accept("("):
+            inner = self._or_expr()
+            self._expect(")")
+            return inner
+        if self._accept("TRUE"):
+            return lambda p, i, now: True
+        if self._accept("FALSE"):
+            return lambda p, i, now: False
+        left = self._value_expr()
+        tok = self._next()
+        if tok.text == "LIKE":
+            pattern = self._string()
+            regex = re.compile(
+                "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+            )
+            return lambda p, i, now: bool(regex.match(str(left(p, i, now))))
+        if tok.text in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            right = self._value_expr()
+            op = tok.text
+
+            def cmp(p, i, now, left=left, right=right, op=op):
+                a, b = left(p, i, now), right(p, i, now)
+                if op == "=":
+                    return a == b
+                if op in ("!=", "<>"):
+                    return a != b
+                if op == "<":
+                    return a < b
+                if op == "<=":
+                    return a <= b
+                if op == ">":
+                    return a > b
+                return a >= b
+
+            return cmp
+        raise PolicyParseError(
+            f"expected a comparison operator at offset {tok.pos}, "
+            f"got {tok.text!r}"
+        )
+
+    # -- value expressions -----------------------------------------------------
+    def _value_expr(self) -> Valuer:
+        tok = self._peek()
+        if tok is None:
+            raise PolicyParseError("unexpected end of expression")
+        if tok.kind == "number":
+            value = self._number()
+            return lambda p, i, now: value
+        if tok.kind == "string":
+            text = self._string()
+            return lambda p, i, now: text
+        word = self._next().text
+        attr = _ATTRS.get(word)
+        if attr is None:
+            raise PolicyParseError(
+                f"unknown attribute {word!r} at offset {tok.pos}"
+            )
+        return attr
+
+
+_ATTRS: dict[str, Valuer] = {
+    "FILE_SIZE": lambda p, i, now: i.size,
+    "NAME": lambda p, i, now: p.rsplit("/", 1)[-1],
+    "PATH_NAME": lambda p, i, now: p,
+    "POOL_NAME": lambda p, i, now: i.pool or "",
+    "USER_ID": lambda p, i, now: i.uid,
+    "ACCESS_AGE": lambda p, i, now: now - i.atime,
+    "MODIFICATION_AGE": lambda p, i, now: now - i.mtime,
+    "CREATION_AGE": lambda p, i, now: now - i.ctime,
+}
+
+
+def parse_policy(text: str) -> list[Union[PlacementRule, MigrateRule, ListRule]]:
+    """Parse policy *text* into rule objects ready for the engine.
+
+    Placement rules go to :meth:`PolicyEngine.add_placement`; MIGRATE and
+    LIST rules go to :meth:`PolicyEngine.apply`.
+    """
+    return _Parser(text).parse()

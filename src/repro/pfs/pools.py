@@ -1,0 +1,96 @@
+"""Storage pools: classes of service for file data (GPFS ILM).
+
+A *internal* pool owns disk arrays (optionally spread across NSD server
+nodes); an *external* pool (GPFS 3.2 extension) is a named handle to an
+HSM back end — data "in" an external pool lives on tape and the pool
+object only carries the callback wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.disksim import DiskArray
+from repro.sim import SimulationError
+
+__all__ = ["ExternalPool", "StoragePool"]
+
+
+class StoragePool:
+    """An internal (disk) storage pool.
+
+    Parameters
+    ----------
+    name:
+        Pool name referenced by policy rules (e.g. ``"fast"``, ``"slow"``).
+    arrays:
+        The disk arrays providing the capacity.
+    server_nodes:
+        Fabric node name serving each array (parallel list).  ``None``
+        means data movement time is charged on the arrays only — useful
+        for unit tests without a fabric.
+    """
+
+    is_external = False
+
+    def __init__(
+        self,
+        name: str,
+        arrays: Sequence[DiskArray],
+        server_nodes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not arrays:
+            raise SimulationError(f"pool {name!r} needs at least one array")
+        if server_nodes is not None and len(server_nodes) != len(arrays):
+            raise SimulationError(
+                f"pool {name!r}: server_nodes must match arrays 1:1"
+            )
+        self.name = name
+        self.arrays = list(arrays)
+        self.server_nodes = list(server_nodes) if server_nodes else None
+
+    @property
+    def capacity_bytes(self) -> float:
+        return sum(a.capacity_bytes for a in self.arrays)
+
+    @property
+    def used_bytes(self) -> float:
+        return sum(a.used_bytes for a in self.arrays)
+
+    @property
+    def free_bytes(self) -> float:
+        return sum(a.free_bytes for a in self.arrays)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the pool in use (drives MIGRATE thresholds)."""
+        cap = self.capacity_bytes
+        return self.used_bytes / cap if cap else 0.0
+
+    def server_of(self, index: int) -> Optional[str]:
+        return self.server_nodes[index] if self.server_nodes else None
+
+    def __repr__(self) -> str:
+        return (
+            f"<StoragePool {self.name!r} {len(self.arrays)} arrays "
+            f"{self.occupancy*100:.1f}% full>"
+        )
+
+
+class ExternalPool:
+    """An external pool: a policy target naming an HSM destination.
+
+    GPFS itself never moves the bytes for an external pool; the policy
+    engine emits candidate file lists and an external program (here the
+    archive's migrator) does the work — matching §4.2.1's description.
+    """
+
+    is_external = True
+
+    def __init__(self, name: str, manager: object = None) -> None:
+        self.name = name
+        #: opaque handle to the HSM manager owning this pool
+        self.manager = manager
+
+    def __repr__(self) -> str:
+        return f"<ExternalPool {self.name!r}>"

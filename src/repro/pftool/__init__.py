@@ -1,0 +1,41 @@
+"""PFTool: the parallel file/archive tool (the paper's frontend, §4.1).
+
+An MPI-structured program reproduced rank-for-rank on the simulator:
+
+====================  ======================================================
+rank                  role (paper §4.1.1)
+====================  ======================================================
+Manager               conductor: parallel tree walk, DirQ/NameQ/CopyQ/
+                      TapeCQ queues, job assignment, completion detection
+OutPutProc            collects output/progress lines
+WatchDog              periodic progress recorder + stall killer
+ReadDir x R           expose directories
+Worker x W            stat files, copy data (chunked for large files)
+TapeProc x T          tape-ordered restore of migrated files
+====================  ======================================================
+
+Commands: :func:`pfls` (parallel list), :func:`pfcp` (parallel copy),
+:func:`pfcm` (parallel compare) — §4.1.3.
+
+Key behaviours reproduced: single-large-file N-to-1 chunked copies,
+ArchiveFUSE N-to-N for very large files, tape-ordered recall via the
+tape index DB, restartable transfers with per-chunk good/bad marks, and
+runtime-tunable process counts/chunk sizes (§4.1.2).
+"""
+
+from repro.pftool.config import PftoolConfig, RuntimeContext
+from repro.pftool.job import PftoolJob, pfcm, pfcp, pfdu, pfls
+from repro.pftool.loadmanager import LoadManager
+from repro.pftool.stats import JobStats
+
+__all__ = [
+    "JobStats",
+    "LoadManager",
+    "PftoolConfig",
+    "PftoolJob",
+    "RuntimeContext",
+    "pfcm",
+    "pfcp",
+    "pfdu",
+    "pfls",
+]

@@ -1,0 +1,106 @@
+"""Runtime-tunable parameters and execution context for PFTool jobs.
+
+The paper (§4.1.2 item 5) lists the runtime tunables: number of
+processes, number of tape drives/procs, basic copy size, storage pool
+info, FUSE chunk size, and the tape-restore optimisation flag.  All of
+them live in :class:`PftoolConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.fusefs import ArchiveFuseFS
+from repro.hsm import HsmManager
+from repro.pfs import GpfsFileSystem
+from repro.sim import SimulationError
+from repro.tapedb import TapeIndexDB
+from repro.tsm import TsmServer
+
+__all__ = ["PftoolConfig", "RuntimeContext"]
+
+KiB, MiB, GiB = 1024, 1024**2, 1024**3
+
+
+@dataclass
+class PftoolConfig:
+    """Tunable knobs for one PFTool invocation."""
+
+    #: number of Worker ranks (file stat + data copy)
+    num_workers: int = 8
+    #: number of ReadDir ranks
+    num_readdir: int = 2
+    #: number of TapeProc ranks (restore direction only)
+    num_tapeprocs: int = 4
+    #: files per StatJob batch
+    stat_batch: int = 64
+    #: files per small-file CopyJob batch
+    copy_batch: int = 16
+    #: split files >= this into parallel chunks (N-to-1), bytes
+    chunk_threshold: int = 10 * GiB
+    #: chunk size for N-to-1 copies ("basic file copy size"), bytes
+    copy_chunk_size: int = 2 * GiB
+    #: route files >= this through ArchiveFUSE (N-to-N), bytes
+    fuse_threshold: int = 100 * GiB
+    #: target storage pool on the destination (None = placement policy)
+    storage_pool: Optional[str] = None
+    #: sort tape restores by (volume, seq) — the §4.1.2 optimisation
+    tape_ordering: bool = True
+    #: pack each small-file batch into one container object on the
+    #: destination (the §7 "very large number of small files" solution:
+    #: one create + one data stream + one eventual tape object per batch)
+    tar_pipe: bool = False
+    #: skip files whose destination is already current (§4.5 restart)
+    restart: bool = False
+    #: WatchDog sampling interval, seconds ("T minutes" in the paper)
+    watchdog_interval: float = 60.0
+    #: abort the job after this long with no copy progress
+    stall_timeout: float = 3600.0
+    #: simulated cost of one readdir entry (getdents amortised)
+    readdir_entry_cost: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise SimulationError("need at least one Worker")
+        if self.num_readdir < 1:
+            raise SimulationError("need at least one ReadDir proc")
+        if self.num_tapeprocs < 0:
+            raise SimulationError("num_tapeprocs must be non-negative")
+        if self.copy_chunk_size <= 0 or self.chunk_threshold <= 0:
+            raise SimulationError("chunk sizes must be positive")
+        if self.stat_batch < 1 or self.copy_batch < 1:
+            raise SimulationError("batch sizes must be positive")
+
+    @property
+    def total_ranks(self) -> int:
+        # manager + outputproc + watchdog + readdir + workers + tapeprocs
+        return 3 + self.num_readdir + self.num_workers + self.num_tapeprocs
+
+
+@dataclass
+class RuntimeContext:
+    """The environment a PFTool job runs against.
+
+    *nodes* is the FTA machine list (already sorted by the LoadManager);
+    rank i executes on ``nodes[i % len(nodes)]``.
+    """
+
+    src_fs: GpfsFileSystem
+    dst_fs: GpfsFileSystem
+    nodes: Sequence[str]
+    #: ArchiveFUSE over whichever side is the archive (optional)
+    fuse: Optional[ArchiveFuseFS] = None
+    #: needed for the restore direction
+    hsm: Optional[HsmManager] = None
+    tsm: Optional[TsmServer] = None
+    tapedb: Optional[TapeIndexDB] = None
+    #: TSM filespace of the archive file system
+    filespace: str = "archive"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SimulationError("RuntimeContext needs at least one node")
+
+    def node_of_rank(self, rank: int) -> str:
+        return self.nodes[rank % len(self.nodes)]

@@ -1,0 +1,137 @@
+"""PFTool job orchestration and the pfls/pfcp/pfcm commands.
+
+A :class:`PftoolJob` builds the communicator, spawns every rank as a DES
+process, and exposes a completion event that fires with the job's
+:class:`~repro.pftool.stats.JobStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpisim import SimComm
+from repro.pftool.config import PftoolConfig, RuntimeContext
+from repro.pftool.manager import Abort, Manager
+from repro.pftool.messages import TAG_RESULT
+from repro.pftool.ranks import (
+    output_proc,
+    readdir_proc,
+    tape_proc,
+    watchdog_proc,
+    worker_proc,
+)
+from repro.pftool.stats import JobStats
+from repro.sim import Environment, Event, SimulationError
+
+__all__ = ["PftoolJob", "pfcm", "pfcp", "pfdu", "pfls"]
+
+
+class PftoolJob:
+    """One invocation of pfls / pfcp / pfcm.
+
+    Rank layout: 0 Manager, 1 OutPutProc, 2 WatchDog, then ReadDir
+    ranks, Worker ranks, TapeProc ranks.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        ctx: RuntimeContext,
+        op: str,
+        src: str,
+        dst: Optional[str] = None,
+        cfg: Optional[PftoolConfig] = None,
+    ) -> None:
+        if op not in ("copy", "list", "compare", "du"):
+            raise SimulationError(f"unknown pftool op {op!r}")
+        if op in ("copy", "compare") and dst is None:
+            raise SimulationError(f"{op} needs a destination")
+        self.env = env
+        self.ctx = ctx
+        self.op = op
+        self.cfg = cfg or PftoolConfig()
+        self.stats = JobStats(op=op)
+        self.done: Event = env.event()
+        self.comm = SimComm(env, self.cfg.total_ranks)
+        self._manager = Manager(
+            env, self.comm, self.cfg, ctx, op, src, dst, self.stats, self.done
+        )
+        self._spawn_ranks()
+
+    def _spawn_ranks(self) -> None:
+        env, comm, cfg, ctx = self.env, self.comm, self.cfg, self.ctx
+        env.process(self._manager.run(), name="pftool-manager")
+        env.process(output_proc(env, comm, 1, self.stats), name="pftool-output")
+        env.process(
+            watchdog_proc(env, comm, 2, cfg, self.stats), name="pftool-watchdog"
+        )
+        rank = 3
+        for _ in range(cfg.num_readdir):
+            env.process(
+                readdir_proc(env, comm, rank, cfg, ctx), name=f"pftool-readdir{rank}"
+            )
+            rank += 1
+        for _ in range(cfg.num_workers):
+            env.process(
+                worker_proc(env, comm, rank, cfg, ctx), name=f"pftool-worker{rank}"
+            )
+            rank += 1
+        for _ in range(cfg.num_tapeprocs):
+            if ctx.tsm is not None:
+                env.process(
+                    tape_proc(env, comm, rank, cfg, ctx), name=f"pftool-tape{rank}"
+                )
+            rank += 1
+
+    def cancel(self, reason: str = "cancelled by user") -> None:
+        """Abort the job (used by restart experiments / operators)."""
+        self.comm.send(0, 0, Abort(reason), TAG_RESULT)
+
+    def __repr__(self) -> str:
+        return f"<PftoolJob {self.op} ranks={self.cfg.total_ranks}>"
+
+
+def pfcp(
+    env: Environment,
+    ctx: RuntimeContext,
+    src: str,
+    dst: str,
+    cfg: Optional[PftoolConfig] = None,
+) -> PftoolJob:
+    """Parallel copy (``pfcp``): tree-walk *src* and copy to *dst*.
+
+    Returns the job; ``env.run(job.done)`` yields its JobStats.
+    """
+    return PftoolJob(env, ctx, "copy", src, dst, cfg)
+
+
+def pfls(
+    env: Environment,
+    ctx: RuntimeContext,
+    src: str,
+    cfg: Optional[PftoolConfig] = None,
+) -> PftoolJob:
+    """Parallel list (``pfls``): tree-walk and stat, no data movement."""
+    return PftoolJob(env, ctx, "list", src, None, cfg)
+
+
+def pfdu(
+    env: Environment,
+    ctx: RuntimeContext,
+    src: str,
+    cfg: Optional[PftoolConfig] = None,
+) -> PftoolJob:
+    """Parallel disk-usage rollup (``pfdu``): per-subtree file/byte totals
+    from a parallel tree walk — the tape-safe answer to ``du -s *``."""
+    return PftoolJob(env, ctx, "du", src, None, cfg)
+
+
+def pfcm(
+    env: Environment,
+    ctx: RuntimeContext,
+    src: str,
+    dst: str,
+    cfg: Optional[PftoolConfig] = None,
+) -> PftoolJob:
+    """Parallel compare (``pfcm``): byte-content verification of a copy."""
+    return PftoolJob(env, ctx, "compare", src, dst, cfg)

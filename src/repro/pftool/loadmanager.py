@@ -1,0 +1,46 @@
+"""The LoadManager (§4.1.2 item 1).
+
+Runs periodically, tracks per-node load (active PFTool ranks in our
+model, a stand-in for CPU load average), and produces the MPI machine
+list sorted ascending by load — so new jobs land on the least busy FTA
+nodes first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim import Environment, SimulationError
+
+__all__ = ["LoadManager"]
+
+
+class LoadManager:
+    """Tracks FTA node load and emits sorted machine lists."""
+
+    def __init__(self, env: Environment, nodes: Sequence[str]) -> None:
+        if not nodes:
+            raise SimulationError("LoadManager needs at least one node")
+        self.env = env
+        self.nodes = list(nodes)
+        self._load: dict[str, int] = {n: 0 for n in self.nodes}
+
+    def machine_list(self) -> list[str]:
+        """Nodes sorted by (load, name) — the 'timely MPI machine list'."""
+        return sorted(self.nodes, key=lambda n: (self._load[n], n))
+
+    def job_started(self, nodes_used: Sequence[str]) -> None:
+        for n in nodes_used:
+            if n in self._load:
+                self._load[n] += 1
+
+    def job_finished(self, nodes_used: Sequence[str]) -> None:
+        for n in nodes_used:
+            if n in self._load:
+                self._load[n] = max(0, self._load[n] - 1)
+
+    def load_of(self, node: str) -> int:
+        return self._load.get(node, 0)
+
+    def __repr__(self) -> str:
+        return f"<LoadManager {self._load}>"

@@ -1,0 +1,581 @@
+"""The Manager rank: queues, job assignment, completion detection.
+
+Mirrors §4.1.1's responsibility list: starts the parallel tree walk,
+feeds DirQ to ReadDir procs, batches exposed files into NameQ stat jobs,
+classifies stated files into CopyQ (with N-to-1 chunking and ArchiveFUSE
+N-to-N for the largest files) or TapeCQs (tape-ordered restore), hands
+restored tape files back to Workers for the archive->scratch hop, pushes
+progress lines to the OutPutProc, and finalises by broadcasting Exit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
+
+from repro.mpisim import SimComm
+from repro.pfs import PathError
+from repro.pftool.config import PftoolConfig, RuntimeContext
+from repro.pftool.messages import (
+    CompareJob,
+    CompareResult,
+    CopyJob,
+    CopyResult,
+    DirJob,
+    DirResult,
+    Exit,
+    FileSpec,
+    StatJob,
+    StatResult,
+    TAG_JOB,
+    TAG_OUTPUT,
+    TAG_TAPEINFO,
+    TapeJob,
+    TapeResult,
+    WorkRequest,
+)
+from repro.pftool.stats import JobStats
+from repro.sim import Environment, Event
+
+__all__ = ["Abort", "Manager"]
+
+#: cap on retained pfls output lines (the rest are counted, not stored)
+MAX_OUTPUT_LINES = 10_000
+
+
+@dataclass(frozen=True)
+class Abort:
+    """Sent to the Manager to kill the job (WatchDog stall or user)."""
+
+    reason: str
+
+
+class Manager:
+    """Rank-0 logic for one PFTool job."""
+
+    def __init__(
+        self,
+        env: Environment,
+        comm: SimComm,
+        cfg: PftoolConfig,
+        ctx: RuntimeContext,
+        op: str,
+        src_root: str,
+        dst_root: Optional[str],
+        stats: JobStats,
+        done: Event,
+    ) -> None:
+        self.env = env
+        self.comm = comm
+        self.cfg = cfg
+        self.ctx = ctx
+        self.op = op  # 'copy' | 'list' | 'compare'
+        self.src_root = src_root.rstrip("/") or "/"
+        self.dst_root = (dst_root.rstrip("/") or "/") if dst_root else None
+        self.stats = stats
+        self.done = done
+
+        self.dir_q: deque[DirJob] = deque()
+        self.name_q: deque[StatJob] = deque()
+        self.copy_q: deque = deque()  # CopyJob | CompareJob
+        self.tape_q: deque[TapeJob] = deque()
+        self.idle: dict[str, deque[int]] = {
+            "readdir": deque(),
+            "worker": deque(),
+            "tape": deque(),
+        }
+        self.out_dir = 0
+        self.out_stat = 0
+        self.out_copy = 0
+        self.out_tape = 0
+        self.pending_lookups = 0
+        #: dst path -> queued chunk jobs waiting for the create-chunk
+        self.waiting_chunks: dict[str, list[CopyJob]] = {}
+        #: destinations whose provisioning chunk has completed
+        self.created_dsts: set[str] = set()
+        #: (archive_path, oid, nbytes, dst) buffered until the walk ends
+        self.tape_buffer: list[tuple[str, int, int, str]] = []
+        #: member copy jobs waiting for their container's tape recall
+        self.parked_container_jobs: dict[str, list[CopyJob]] = {}
+        self.tape_arranged = False
+        self.pending_small: list[tuple[str, str, int]] = []
+        self.pending_compare: list[tuple[str, str, int]] = []
+        #: 'du' op: subtree -> [files, bytes]
+        self.du_totals: dict[str, list[int]] = {}
+        self.aborting = False
+
+    # ------------------------------------------------------------------
+    # path mapping
+    # ------------------------------------------------------------------
+    def map_dst(self, src_path: str) -> str:
+        if self.dst_root is None:
+            raise PathError("operation has no destination")
+        if src_path == self.src_root:
+            name = src_path.rsplit("/", 1)[-1]
+            return f"{self.dst_root}/{name}"
+        if not src_path.startswith(self.src_root + "/") and self.src_root != "/":
+            raise PathError(f"{src_path!r} escapes {self.src_root!r}")
+        rel = src_path[len(self.src_root):].lstrip("/")
+        return f"{self.dst_root}/{rel}" if rel else self.dst_root
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> Iterable[Event]:
+        self.stats.started = self.env.now
+        self.stats.op = self.op
+        src = self.ctx.src_fs
+        try:
+            root_inode = src.lookup(self.src_root)
+        except PathError as exc:
+            self._finish(error=str(exc))
+            return
+        if self.dst_root is not None and self.op == "copy":
+            self.ctx.dst_fs.mkdir(self.dst_root, parents=True)
+        if root_inode.is_dir:
+            self.dir_q.append(DirJob(self.src_root))
+        else:
+            self.name_q.append(StatJob((self.src_root,)))
+        self._emit(f"starting {self.op}: {self.src_root} -> {self.dst_root}")
+
+        while True:
+            self._dispatch()
+            if self._complete():
+                break
+            msg = yield self.comm.recv(0)
+            payload = msg.payload
+            if isinstance(payload, WorkRequest):
+                self.idle[payload.kind].append(payload.rank)
+            elif isinstance(payload, Abort):
+                self._handle_abort(payload)
+                break
+            elif msg.tag == TAG_TAPEINFO:
+                self._on_tape_info(payload)
+            elif isinstance(payload, DirResult):
+                self._on_dir_result(payload)
+            elif isinstance(payload, StatResult):
+                self._on_stat_result(payload)
+            elif isinstance(payload, CopyResult):
+                self._on_copy_result(payload)
+            elif isinstance(payload, CompareResult):
+                self._on_compare_result(payload)
+            elif isinstance(payload, TapeResult):
+                self._on_tape_result(payload)
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"manager got unexpected {payload!r}")
+        self._finish()
+
+    def _finish(self, error: str = "") -> None:
+        if error:
+            self.stats.aborted = True
+            self.stats.abort_reason = error
+        self.stats.finished = self.env.now
+        if self.op == "du":
+            for key in sorted(self.du_totals):
+                files, nbytes = self.du_totals[key]
+                self._emit(f"{nbytes}\t{files}\t{key}")
+        self._emit(self.stats.report())  # must precede Exit (FIFO delivery)
+        self.comm.broadcast(0, Exit())
+
+        def _settle():
+            # let in-flight output lines land before completing the job
+            yield self.env.timeout(2 * self.comm.latency)
+            if not self.done.triggered:
+                self.done.succeed(self.stats)
+
+        self.env.process(_settle(), name="pftool-settle")
+
+    def _handle_abort(self, abort: Abort) -> None:
+        self.aborting = True
+        self.stats.aborted = True
+        self.stats.abort_reason = abort.reason
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        # Flush accumulated batches once the walk+stat phase has drained.
+        if self._stat_phase_done():
+            self._flush_small()
+            self._flush_compare()
+            if self.tape_buffer and self.pending_lookups == 0:
+                self._lookup_tape_locations()
+        while self.idle["readdir"] and self.dir_q:
+            rank = self.idle["readdir"].popleft()
+            self.comm.send(0, rank, self.dir_q.popleft(), TAG_JOB)
+            self.out_dir += 1
+        while self.idle["worker"] and (self.name_q or self.copy_q):
+            rank = self.idle["worker"].popleft()
+            # NameQ first: exposing work early keeps the pipeline full.
+            if self.name_q:
+                self.comm.send(0, rank, self.name_q.popleft(), TAG_JOB)
+                self.out_stat += 1
+            else:
+                job = self.copy_q.popleft()
+                self.comm.send(0, rank, job, TAG_JOB)
+                self.out_copy += 1
+        while self.idle["tape"] and self.tape_q:
+            rank = self.idle["tape"].popleft()
+            self.comm.send(0, rank, self.tape_q.popleft(), TAG_JOB)
+            self.out_tape += 1
+
+    def _stat_phase_done(self) -> bool:
+        return not self.dir_q and not self.name_q and self.out_dir == 0 and self.out_stat == 0
+
+    def _complete(self) -> bool:
+        if self.aborting:
+            return True
+        return (
+            self._stat_phase_done()
+            and not self.copy_q
+            and not self.tape_q
+            and self.out_copy == 0
+            and self.out_tape == 0
+            and self.pending_lookups == 0
+            and not self.waiting_chunks
+            and not self.tape_buffer
+            and not self.parked_container_jobs
+            and not self.pending_small
+            and not self.pending_compare
+        )
+
+    # ------------------------------------------------------------------
+    # result handlers
+    # ------------------------------------------------------------------
+    def _on_dir_result(self, res: DirResult) -> None:
+        self.out_dir -= 1
+        self.stats.dirs_walked += 1
+        if self.op == "copy" and self.dst_root is not None:
+            self.ctx.dst_fs.mkdir(self.map_dst(res.path), parents=True)
+        for sub in res.subdirs:
+            self.dir_q.append(DirJob(sub))
+        files = list(res.files)
+        for i in range(0, len(files), self.cfg.stat_batch):
+            self.name_q.append(StatJob(tuple(files[i : i + self.cfg.stat_batch])))
+
+    def _on_stat_result(self, res: StatResult) -> None:
+        self.out_stat -= 1
+        for spec in res.specs:
+            self.stats.files_seen += 1
+            if self.op == "list":
+                state = "migrated" if spec.migrated else "resident"
+                self._list_line(f"{spec.path}\t{spec.size}\t{state}")
+                continue
+            if self.op == "du":
+                self._account_du(spec)
+                continue
+            if self.op == "compare":
+                self.pending_compare.append(
+                    (spec.path, self.map_dst(spec.path), spec.size)
+                )
+                if len(self.pending_compare) >= self.cfg.copy_batch:
+                    self._flush_compare()
+                continue
+            self._plan_copy(spec)
+
+    def _plan_copy(self, spec: FileSpec) -> None:
+        dst = self.map_dst(spec.path)
+        if spec.is_fuse and self.ctx.fuse is not None:
+            self._plan_fuse_restore_or_copy(spec, dst)
+            return
+        packed = self._packed_location(spec.path)
+        if packed is not None:
+            self._plan_packed_copy(spec, dst, packed)
+            return
+        if spec.migrated:
+            # Restore direction: data must come off tape first.
+            self.tape_buffer.append(
+                (spec.path, spec.tsm_object_id, spec.size, dst)
+            )
+            return
+        if self.cfg.restart and self._dst_current(spec, dst):
+            self.stats.files_skipped += 1
+            self.stats.bytes_skipped += spec.size
+            return
+        self._enqueue_data_copy(spec.path, dst, spec.size)
+
+    def _packed_location(self, path: str) -> Optional[tuple[str, int]]:
+        """(container, offset) when *path* is a §7 packed member entry."""
+        try:
+            inode = self.ctx.src_fs.lookup(path)
+        except PathError:
+            return None
+        return inode.xattrs.get("__packed_in__")
+
+    def _plan_packed_copy(
+        self, spec: FileSpec, dst: str, packed: tuple[str, int]
+    ) -> None:
+        """Restore/copy one packed member: data streams out of its
+        container (recalling the container from tape first if needed)."""
+        container, offset = packed
+        job = CopyJob(
+            chunk_of=(container, dst, spec.size),
+            offset=0,
+            length=spec.size,
+            src_offset=offset,
+            token_src=spec.path,
+        )
+        cnode = self.ctx.src_fs.lookup(container)
+        if cnode.is_stub:
+            parked = self.parked_container_jobs.setdefault(container, [])
+            if not parked:  # first member: queue ONE recall of the container
+                self.tape_buffer.append(
+                    (container, cnode.tsm_object_id, cnode.size,
+                     f"##container##{container}")
+                )
+            parked.append(job)
+            return
+        self._enqueue_chunk_job(job, dst)
+
+    def _dst_current(self, spec: FileSpec, dst: str) -> bool:
+        try:
+            dnode = self.ctx.dst_fs.lookup(dst)
+        except PathError:
+            return False
+        if not dnode.is_file or dnode.size != spec.size:
+            return False
+        if dnode.mtime < spec.mtime:
+            return False
+        done_ranges = dnode.xattrs.get("__chunks_done__")
+        if done_ranges is not None:
+            covered = sum(l for _, l in done_ranges)
+            return covered >= spec.size
+        return True
+
+    def _enqueue_chunk_job(self, job: CopyJob, dst_key: str) -> None:
+        """Serialize destination provisioning: the first chunk job for a
+        destination carries ``create=True``; the rest wait until the
+        provisioning result arrives (then flow into CopyQ freely)."""
+        if dst_key in self.created_dsts:
+            self.copy_q.append(job)
+        elif dst_key in self.waiting_chunks:
+            self.waiting_chunks[dst_key].append(job)
+        else:
+            self.waiting_chunks[dst_key] = []
+            self.copy_q.append(replace(job, create=True))
+
+    def _enqueue_data_copy(self, src: str, dst: str, size: int) -> None:
+        cfg = self.cfg
+        if (
+            cfg.fuse_threshold
+            and self.ctx.fuse is not None
+            and size >= cfg.fuse_threshold
+            and self.ctx.fuse.fs is self.ctx.dst_fs
+        ):
+            # ArchiveFUSE N-to-N: one worker per fuse chunk.
+            n = max(1, math.ceil(size / self.ctx.fuse.chunk_size))
+            self.stats.fuse_files += 1
+            for i in range(n):
+                off = i * self.ctx.fuse.chunk_size
+                self._enqueue_chunk_job(
+                    CopyJob(
+                        chunk_of=(src, dst, size),
+                        offset=off,
+                        length=min(self.ctx.fuse.chunk_size, size - off),
+                        fuse_index=i,
+                    ),
+                    dst,
+                )
+            return
+        if size >= cfg.chunk_threshold:
+            # N-to-1 chunked copy into a single destination file.
+            chunk = cfg.copy_chunk_size
+            n = max(1, math.ceil(size / chunk))
+            done_ranges = self._restart_ranges(dst) if cfg.restart else set()
+            if done_ranges:
+                self.created_dsts.add(dst)
+            queued = 0
+            for i in range(n):
+                off = i * chunk
+                length = min(chunk, size - off)
+                if (off, length) in done_ranges:
+                    self.stats.bytes_skipped += length
+                    continue
+                self._enqueue_chunk_job(
+                    CopyJob(chunk_of=(src, dst, size), offset=off, length=length),
+                    dst,
+                )
+                queued += 1
+            if not queued:
+                self.stats.files_skipped += 1
+            return
+        self.pending_small.append((src, dst, size))
+        if len(self.pending_small) >= cfg.copy_batch:
+            self._flush_small()
+
+    def _restart_ranges(self, dst: str) -> set:
+        try:
+            dnode = self.ctx.dst_fs.lookup(dst)
+        except PathError:
+            return set()
+        return set(map(tuple, dnode.xattrs.get("__chunks_done__", [])))
+
+    def _plan_fuse_restore_or_copy(self, spec: FileSpec, dst: str) -> None:
+        """Archive-side fuse file: treat each chunk as an independent
+        (possibly migrated) source, reassembled into *dst* by range."""
+        fuse = self.ctx.fuse
+        refs = fuse.chunks(spec.path)
+        size = fuse.logical_size(spec.path)
+        for ref in refs:
+            cnode = self.ctx.src_fs.lookup(ref.path)
+            if cnode.is_stub:
+                self.tape_buffer.append(
+                    (ref.path, cnode.tsm_object_id, ref.length,
+                     f"{dst}@@{ref.offset}@@{size}@@{spec.path}")
+                )
+            else:
+                self._enqueue_chunk_job(
+                    CopyJob(
+                        chunk_of=(ref.path, dst, size),
+                        offset=ref.offset,
+                        length=ref.length,
+                        src_offset=0,
+                        token_src=spec.path,
+                    ),
+                    dst,
+                )
+
+    def _flush_small(self) -> None:
+        if self.pending_small:
+            batch = tuple(self.pending_small[: self.cfg.copy_batch])
+            del self.pending_small[: self.cfg.copy_batch]
+            self.copy_q.append(CopyJob(files=batch, pack=self.cfg.tar_pipe))
+            if self.pending_small:
+                self._flush_small()
+
+    def _flush_compare(self) -> None:
+        if self.pending_compare:
+            batch = tuple(self.pending_compare[: self.cfg.copy_batch])
+            del self.pending_compare[: self.cfg.copy_batch]
+            self.copy_q.append(CompareJob(files=batch))
+            if self.pending_compare:
+                self._flush_compare()
+
+    # ------------------------------------------------------------------
+    # tape arrangement (§4.1.2 item 2)
+    # ------------------------------------------------------------------
+    def _lookup_tape_locations(self) -> None:
+        entries = self.tape_buffer
+        self.tape_buffer = []
+        self.pending_lookups += 1
+        db = self.ctx.tapedb
+        env = self.env
+        comm = self.comm
+
+        def _helper():
+            paths = [e[0] for e in entries]
+            if db is not None:
+                locs = yield db.locate_many(self.ctx.filespace, paths)
+            else:
+                locs = {}
+            comm.send(0, 0, (entries, locs), TAG_TAPEINFO)
+
+        env.process(_helper(), name="pftool-tapedb-lookup")
+
+    def _on_tape_info(self, payload) -> None:
+        self.pending_lookups -= 1
+        entries, locs = payload
+        resolved = []
+        for path, oid, nbytes, dst in entries:
+            loc = locs.get(path)
+            if loc is None and self.ctx.tsm is not None and oid is not None:
+                obj = self.ctx.tsm.locate(oid)  # export-staleness fallback
+                if obj is not None:
+                    resolved.append((path, obj.object_id, obj.volume, obj.seq,
+                                     nbytes, dst))
+                    continue
+            if loc is None:
+                self.stats.files_failed += 1
+                self._emit(f"NO TAPE LOCATION for {path}")
+                continue
+            resolved.append((path, loc.object_id, loc.volume, loc.seq, nbytes, dst))
+        by_vol: dict[str, list] = {}
+        for path, oid, vol, seq, nbytes, dst in resolved:
+            by_vol.setdefault(vol, []).append((path, oid, seq, nbytes, dst))
+        for vol, items in sorted(by_vol.items()):
+            if self.cfg.tape_ordering:
+                items.sort(key=lambda e: e[2])  # ascending tape seq
+            self.tape_q.append(TapeJob(vol, tuple(items)))
+        self.stats.tape_volumes_touched += len(by_vol)
+
+    def _on_tape_result(self, res: TapeResult) -> None:
+        self.out_tape -= 1
+        for archive_path, nbytes, dst in res.restored:
+            self.stats.tape_files_restored += 1
+            self.stats.tape_bytes_restored += nbytes
+            # "additional restored tape file copy request" -> Workers.
+            if dst.startswith("##container##"):
+                container = dst[len("##container##"):]
+                for job in self.parked_container_jobs.pop(container, []):
+                    self._enqueue_chunk_job(job, job.chunk_of[1])
+                continue
+            if "@@" in dst:
+                real_dst, off, total, token_src = dst.split("@@")
+                self._enqueue_chunk_job(
+                    CopyJob(
+                        chunk_of=(archive_path, real_dst, int(total)),
+                        offset=int(off),
+                        length=nbytes,
+                        src_offset=0,
+                        token_src=token_src,
+                    ),
+                    real_dst,
+                )
+            else:
+                self._enqueue_data_copy(archive_path, dst, nbytes)
+
+    def _on_copy_result(self, res: CopyResult) -> None:
+        self.out_copy -= 1
+        self.stats.files_failed += len(res.failed)
+        self.stats.bytes_copied += res.bytes_moved
+        if res.chunk_of is not None:
+            src, dst, total = res.chunk_of
+            self.stats.chunks_copied += 1
+            if res.created:
+                self.created_dsts.add(dst)
+                if dst in self.waiting_chunks:
+                    self.copy_q.extend(self.waiting_chunks.pop(dst))
+            # completion accounting per chunked file
+            dnode = self.ctx.dst_fs.lookup(dst)
+            ranges = dnode.xattrs.setdefault("__chunks_done__", [])
+            ranges.append((res.offset, res.length))
+            if sum(l for _, l in ranges) >= total:
+                self.stats.files_copied += 1
+                try:
+                    token_path = res.token_src or src
+                    token = self.ctx.src_fs.lookup(token_path).content_token
+                    self.ctx.dst_fs.set_token(dst, token)
+                except PathError:
+                    pass
+        else:
+            self.stats.files_copied += res.files_done
+
+    def _on_compare_result(self, res: CompareResult) -> None:
+        self.out_copy -= 1
+        self.stats.files_compared += res.compared
+        self.stats.compare_mismatches += len(res.mismatches)
+        for path in res.mismatches:
+            self._list_line(f"MISMATCH {path}")
+
+    def _account_du(self, spec: FileSpec) -> None:
+        """Roll file sizes up into the per-top-level-entry totals the
+        paper's users would get from a (tape-safe) parallel ``du``."""
+        rel = spec.path[len(self.src_root):].lstrip("/") if self.src_root != "/" else spec.path.lstrip("/")
+        top = rel.split("/", 1)[0] if rel else spec.path
+        key = f"{self.src_root.rstrip('/')}/{top}" if rel else spec.path
+        bucket = self.du_totals.setdefault(key, [0, 0])
+        bucket[0] += 1
+        bucket[1] += spec.size
+        self.stats.bytes_copied += 0  # du moves no data
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        self.comm.send(0, 1, line, TAG_OUTPUT)
+
+    def _list_line(self, line: str) -> None:
+        if len(self.stats.output_lines) < MAX_OUTPUT_LINES:
+            self._emit(line)

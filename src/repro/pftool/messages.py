@@ -1,0 +1,167 @@
+"""Message types exchanged between PFTool's MPI ranks.
+
+Tag space::
+
+    TAG_WORK_REQ   proc -> manager   "give me work"
+    TAG_JOB        manager -> proc   a *Job payload (or Exit)
+    TAG_RESULT     proc -> manager   a *Result payload
+    TAG_OUTPUT     any -> OutPutProc text line
+    TAG_TAPEINFO   helper -> manager tape locations arrived
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CompareJob",
+    "CompareResult",
+    "CopyJob",
+    "CopyResult",
+    "DirJob",
+    "DirResult",
+    "Exit",
+    "FileSpec",
+    "StatJob",
+    "StatResult",
+    "TAG_JOB",
+    "TAG_OUTPUT",
+    "TAG_RESULT",
+    "TAG_TAPEINFO",
+    "TAG_WORK_REQ",
+    "TapeJob",
+    "TapeResult",
+    "WorkRequest",
+]
+
+TAG_WORK_REQ = 1
+TAG_JOB = 2
+TAG_RESULT = 3
+TAG_OUTPUT = 4
+TAG_TAPEINFO = 5
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """Idle announcement; *kind* is 'readdir' | 'worker' | 'tape'."""
+
+    rank: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Shut down, final stats follow via the job object."""
+
+
+@dataclass(frozen=True)
+class DirJob:
+    """Expose one directory of the source tree."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class DirResult:
+    path: str
+    subdirs: tuple[str, ...]
+    files: tuple[str, ...]
+    readdir_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatJob:
+    """Stat a batch of source files."""
+
+    paths: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """Stat output for one file."""
+
+    path: str
+    size: int
+    migrated: bool
+    tsm_object_id: Optional[int]
+    mtime: float
+    is_fuse: bool = False
+
+
+@dataclass(frozen=True)
+class StatResult:
+    specs: tuple[FileSpec, ...]
+
+
+@dataclass(frozen=True)
+class CopyJob:
+    """Copy work for one Worker.
+
+    Either a batch of whole small files (``files``) or one chunk of a
+    large file (``chunk_of`` set).  ``fuse_index`` selects ArchiveFUSE
+    N-to-N mode for the chunk.  ``create`` asks the worker to provision
+    the destination before writing.
+    """
+
+    files: tuple[tuple[str, str, int], ...] = ()  # (src, dst, nbytes)
+    #: pack the batch into one container object (§7 grass-files mode)
+    pack: bool = False
+    chunk_of: Optional[tuple[str, str, int]] = None  # (src, dst, total_size)
+    offset: int = 0  # destination offset of the chunk
+    length: int = 0
+    create: bool = False
+    fuse_index: Optional[int] = None
+    #: source-side read offset when it differs from the destination offset
+    #: (fuse chunk files are read from 0 but land at their logical offset;
+    #: packed members are read from their offset inside the container)
+    src_offset: Optional[int] = None
+    #: path whose content token the destination should receive, when it is
+    #: not ``chunk_of[0]`` (packed members: data comes from the container,
+    #: identity from the member entry)
+    token_src: Optional[str] = None
+
+    @property
+    def read_offset(self) -> int:
+        return self.offset if self.src_offset is None else self.src_offset
+
+
+@dataclass(frozen=True)
+class CopyResult:
+    files_done: int
+    bytes_moved: int
+    chunk_of: Optional[tuple[str, str, int]] = None
+    offset: int = 0
+    length: int = 0
+    created: bool = False
+    failed: tuple[str, ...] = ()
+    token_src: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CompareJob:
+    files: tuple[tuple[str, str, int], ...]  # (src, dst, nbytes)
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    compared: int
+    bytes_read: int
+    mismatches: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TapeJob:
+    """Restore a run of objects from one volume, in tape order.
+
+    entries: (archive_path, object_id, seq, nbytes, scratch_dst)
+    """
+
+    volume: str
+    entries: tuple[tuple[str, int, int, int, str], ...]
+
+
+@dataclass(frozen=True)
+class TapeResult:
+    volume: str
+    restored: tuple[tuple[str, int, str], ...]  # (archive_path, nbytes, dst)

@@ -1,0 +1,117 @@
+"""Job statistics and the WatchDog's progress history.
+
+The Manager owns a single :class:`JobStats`; the WatchDog samples it on
+an interval, keeping the windowed counters the paper describes (files /
+bytes moved in the last T minutes) and detecting stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobStats", "WatchdogSample"]
+
+
+@dataclass
+class WatchdogSample:
+    """One WatchDog observation window."""
+
+    t: float
+    files_total: int
+    bytes_total: int
+    files_window: int
+    bytes_window: int
+
+
+@dataclass
+class JobStats:
+    """Counters for one PFTool job (the §4.1.1 'final statistics report')."""
+
+    op: str = "copy"
+    started: float = 0.0
+    finished: float = 0.0
+    dirs_walked: int = 0
+    files_seen: int = 0
+    files_copied: int = 0
+    files_skipped: int = 0  # restart: destination already current
+    files_failed: int = 0
+    files_compared: int = 0
+    compare_mismatches: int = 0
+    bytes_copied: int = 0
+    bytes_skipped: int = 0
+    tape_files_restored: int = 0
+    tape_bytes_restored: int = 0
+    tape_volumes_touched: int = 0
+    chunks_copied: int = 0
+    fuse_files: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
+    watchdog_history: list[WatchdogSample] = field(default_factory=list)
+    output_lines: list[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished - self.started)
+
+    @property
+    def data_rate(self) -> float:
+        """Average copy rate in bytes/second."""
+        d = self.duration
+        return self.bytes_copied / d if d > 0 else 0.0
+
+    @property
+    def avg_file_size(self) -> float:
+        return self.bytes_copied / self.files_copied if self.files_copied else 0.0
+
+    def to_dict(self) -> dict:
+        """Serializable record of the job (for operation logs / replays)."""
+        return {
+            "op": self.op,
+            "started": self.started,
+            "finished": self.finished,
+            "duration": self.duration,
+            "dirs_walked": self.dirs_walked,
+            "files_seen": self.files_seen,
+            "files_copied": self.files_copied,
+            "files_skipped": self.files_skipped,
+            "files_failed": self.files_failed,
+            "files_compared": self.files_compared,
+            "compare_mismatches": self.compare_mismatches,
+            "bytes_copied": self.bytes_copied,
+            "bytes_skipped": self.bytes_skipped,
+            "data_rate": self.data_rate,
+            "avg_file_size": self.avg_file_size,
+            "tape_files_restored": self.tape_files_restored,
+            "tape_bytes_restored": self.tape_bytes_restored,
+            "tape_volumes_touched": self.tape_volumes_touched,
+            "chunks_copied": self.chunks_copied,
+            "fuse_files": self.fuse_files,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+            "watchdog_samples": len(self.watchdog_history),
+        }
+
+    def report(self) -> str:
+        """The end-of-job summary PFTool prints."""
+        mb = self.bytes_copied / 1e6
+        rate = self.data_rate / 1e6
+        lines = [
+            f"pftool {self.op}: {self.files_copied} files, {mb:.1f} MB "
+            f"in {self.duration:.1f}s ({rate:.1f} MB/s)",
+            f"  dirs={self.dirs_walked} seen={self.files_seen} "
+            f"skipped={self.files_skipped} failed={self.files_failed}",
+        ]
+        if self.tape_files_restored:
+            lines.append(
+                f"  tape: {self.tape_files_restored} files / "
+                f"{self.tape_bytes_restored / 1e6:.1f} MB from "
+                f"{self.tape_volumes_touched} volumes"
+            )
+        if self.files_compared:
+            lines.append(
+                f"  compare: {self.files_compared} files, "
+                f"{self.compare_mismatches} mismatches"
+            )
+        if self.aborted:
+            lines.append(f"  ABORTED: {self.abort_reason}")
+        return "\n".join(lines)

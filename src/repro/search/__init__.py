@@ -1,0 +1,18 @@
+"""Multi-dimensional metadata search over the archive namespace.
+
+The paper's stated future work (§7): "enhance the proposed COTS Parallel
+Archive System with the multi-dimensional metadata searching
+capabilities."  This package implements it: an indexed catalogue of the
+archive namespace (size, owner, age, pool, HSM state, name patterns,
+user tags) built from a GPFS fast metadata scan and queried along any
+combination of dimensions — without recalling a single byte from tape.
+
+That last property is the point: the jail bans ``grep`` because content
+scans thrash tape (§4.2.3); metadata search answers the questions users
+actually grep for ("where are alice's checkpoint files from March?")
+from the catalogue alone.
+"""
+
+from repro.search.catalog import MetadataCatalog, Query, SearchHit
+
+__all__ = ["MetadataCatalog", "Query", "SearchHit"]

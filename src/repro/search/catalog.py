@@ -1,0 +1,228 @@
+"""The metadata catalogue: build from a scan, query along any dimension.
+
+Implementation: one row per file in an indexed :class:`~repro.tapedb.Table`
+(hash indexes on owner/pool/state, sorted indexes on size and mtime), a
+tiny planner that starts from the most selective indexed dimension, and
+residual predicate filtering for the rest.  Build time is charged at the
+GPFS inode-scan rate; queries charge a per-row retrieval cost so that
+benchmarks see realistic catalogue behaviour.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pfs import GpfsFileSystem
+from repro.pfs.policy import PAPER_SCAN_RATE
+from repro.sim import Environment, Event
+from repro.tapedb.engine import Table
+
+__all__ = ["MetadataCatalog", "Query", "SearchHit"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A multi-dimensional search.
+
+    Unset dimensions are unconstrained.  ``name_glob`` uses shell
+    wildcards; ``tag`` matches user tags attached via
+    :meth:`MetadataCatalog.tag`.
+    """
+
+    owner: Optional[str] = None
+    pool: Optional[str] = None
+    hsm_state: Optional[str] = None
+    size_min: Optional[int] = None
+    size_max: Optional[int] = None
+    modified_after: Optional[float] = None
+    modified_before: Optional[float] = None
+    name_glob: Optional[str] = None
+    path_prefix: Optional[str] = None
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    path: str
+    ino: int
+    size: int
+    owner: str
+    mtime: float
+    pool: str
+    hsm_state: str
+    tags: tuple[str, ...] = ()
+
+
+class MetadataCatalog:
+    """Indexed search over one file system's namespace.
+
+    Parameters
+    ----------
+    env, fs:
+        Environment and the file system to catalogue.
+    scan_rate:
+        Inodes per second for (re)builds — defaults to the paper's
+        measured GPFS scan speed (1M inodes / 10 min).
+    row_cost:
+        Simulated cost per candidate row examined at query time.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fs: GpfsFileSystem,
+        scan_rate: float = PAPER_SCAN_RATE,
+        row_cost: float = 2e-6,
+    ) -> None:
+        self.env = env
+        self.fs = fs
+        self.scan_rate = scan_rate
+        self.row_cost = row_cost
+        self.table = Table(
+            "catalog",
+            columns=("ino", "path", "size", "owner", "mtime", "pool",
+                     "state", "tags"),
+            primary_key="ino",
+        )
+        self.table.create_index("by_owner", ("owner",))
+        self.table.create_index("by_pool", ("pool",))
+        self.table.create_index("by_state", ("state",))
+        self.table.create_index("by_size", ("size",))
+        self.table.create_index("by_mtime", ("mtime",))
+        self.built_at: Optional[float] = None
+        self.builds = 0
+        self.queries = 0
+
+    # ------------------------------------------------------------------
+    # build / maintain
+    # ------------------------------------------------------------------
+    def build(self) -> Event:
+        """(Re)build the catalogue from a fast metadata scan.
+
+        Fires with the number of files catalogued.
+        """
+        done = self.env.event()
+
+        def _proc():
+            entries = [
+                (p, n) for p, n in self.fs.namespace.iter_inodes() if n.is_file
+            ]
+            yield self.env.timeout(len(entries) / self.scan_rate)
+            # full rebuild: replace rows (keep user tags across rebuilds)
+            old_tags = {
+                row["ino"]: row["tags"] for row in self.table.scan()
+                if row["tags"]
+            }
+            for row in list(self.table.scan()):
+                self.table.delete(row["ino"])
+            for path, inode in entries:
+                self.table.insert(
+                    {
+                        "ino": inode.ino,
+                        "path": path,
+                        "size": inode.size,
+                        "owner": inode.uid,
+                        "mtime": inode.mtime,
+                        "pool": inode.pool or "",
+                        "state": inode.hsm_state.value,
+                        "tags": old_tags.get(inode.ino, ()),
+                    }
+                )
+            self.built_at = self.env.now
+            self.builds += 1
+            done.succeed(len(entries))
+
+        self.env.process(_proc(), name="catalog-build")
+        return done
+
+    def tag(self, path: str, *tags: str) -> None:
+        """Attach user tags ("campaign:2009Q3", "published") to a file."""
+        inode = self.fs.lookup(path)
+        row = self.table.get(inode.ino)
+        if row is None:
+            raise KeyError(f"{path!r} is not in the catalogue (rebuild?)")
+        merged = tuple(sorted(set(row["tags"]) | set(tags)))
+        self.table.update(inode.ino, tags=merged)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    def search(self, query: Query) -> Event:
+        """Run a search; fires with a list of :class:`SearchHit` (sorted
+        by path) after charging planner + row-visit time."""
+        done = self.env.event()
+
+        def _proc():
+            self.queries += 1
+            rows = self._candidates(query)
+            yield self.env.timeout(0.001 + self.row_cost * len(rows))
+            hits = [
+                SearchHit(
+                    path=r["path"], ino=r["ino"], size=r["size"],
+                    owner=r["owner"], mtime=r["mtime"], pool=r["pool"],
+                    hsm_state=r["state"], tags=tuple(r["tags"]),
+                )
+                for r in rows
+                if self._residual_ok(r, query)
+            ]
+            hits.sort(key=lambda h: h.path)
+            done.succeed(hits)
+
+        self.env.process(_proc(), name="catalog-search")
+        return done
+
+    # -- planner -----------------------------------------------------------
+    def _candidates(self, q: Query) -> list[dict]:
+        """Pick the most selective indexed dimension as the driver."""
+        if q.owner is not None:
+            return self.table.select_eq("by_owner", q.owner)
+        if q.tag is not None:
+            # tags are not indexed (low cardinality sets); full scan
+            return list(self.table.scan())
+        if q.hsm_state is not None:
+            return self.table.select_eq("by_state", q.hsm_state)
+        if q.size_min is not None or q.size_max is not None:
+            lo = (q.size_min,) if q.size_min is not None else None
+            hi = (q.size_max + 1,) if q.size_max is not None else None
+            return self.table.select_range("by_size", lo, hi)
+        if q.modified_after is not None or q.modified_before is not None:
+            lo = (q.modified_after,) if q.modified_after is not None else None
+            hi = (q.modified_before,) if q.modified_before is not None else None
+            return self.table.select_range("by_mtime", lo, hi)
+        if q.pool is not None:
+            return self.table.select_eq("by_pool", q.pool)
+        return list(self.table.scan())
+
+    @staticmethod
+    def _residual_ok(row: dict, q: Query) -> bool:
+        if q.owner is not None and row["owner"] != q.owner:
+            return False
+        if q.pool is not None and row["pool"] != q.pool:
+            return False
+        if q.hsm_state is not None and row["state"] != q.hsm_state:
+            return False
+        if q.size_min is not None and row["size"] < q.size_min:
+            return False
+        if q.size_max is not None and row["size"] > q.size_max:
+            return False
+        if q.modified_after is not None and row["mtime"] < q.modified_after:
+            return False
+        if q.modified_before is not None and row["mtime"] > q.modified_before:
+            return False
+        if q.name_glob is not None:
+            name = row["path"].rsplit("/", 1)[-1]
+            if not fnmatch.fnmatch(name, q.name_glob):
+                return False
+        if q.path_prefix is not None and not row["path"].startswith(q.path_prefix):
+            return False
+        if q.tag is not None and q.tag not in row["tags"]:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<MetadataCatalog files={len(self)} builds={self.builds}>"

@@ -1,0 +1,451 @@
+"""Core event loop, events and processes for the DES kernel.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds** everywhere in :mod:`repro`.
+* The event queue is a binary heap keyed on ``(time, priority, seq)`` where
+  ``seq`` is a monotonically increasing tie-breaker, so execution order is
+  fully deterministic for a given program — a requirement for reproducible
+  benchmarks.
+* Processes are plain Python generators.  A process yields an :class:`Event`
+  to suspend until the event fires; the event's value is sent back into the
+  generator (or its exception thrown in).
+* Interrupts follow SimPy semantics: :meth:`Process.interrupt` throws
+  :class:`Interrupt` into the process at its current yield point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Event scheduling priorities (lower runs first at equal times).
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double-trigger, negative delay...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The optional *cause* is available as :attr:`cause` and carries whatever
+    context the interrupter supplied (e.g. a preemption record).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _Pending:
+    """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the queue with a value
+    or an exception) -> *processed* (callbacks ran, waiters resumed).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: callables invoked with this event when it is processed
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("value of event is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get *exception* thrown at their yield point.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- composition ---------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class _ConditionValue(dict):
+    """Ordered mapping of event -> value for AllOf/AnyOf results."""
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (base of AllOf/AnyOf)."""
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(_ConditionValue())
+            return
+        for ev in self._events:
+            if ev._processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect_values(self) -> _ConditionValue:
+        vals = _ConditionValue()
+        for ev in self._events:
+            if ev._processed and ev._ok:
+                vals[ev] = ev._value
+        return vals
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Fires when all sub-events have fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda total, done: done == total, events)
+
+
+class AnyOf(Condition):
+    """Fires when at least one sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda total, done: done >= 1, events)
+
+
+class Process(Event):
+    """A running generator, itself waitable as an event.
+
+    The process event triggers when the generator returns (value = return
+    value) or raises (the exception propagates to waiters, or out of
+    :meth:`Environment.run` if nobody waits).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: event this process is currently waiting on (None when runnable)
+        self._target: Optional[Event] = None
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        # Deliver via an urgent event so interrupt ordering is deterministic.
+        ev = Event(self.env)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev.callbacks.append(self._resume)
+        self.env._schedule(ev, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return  # already terminated (e.g. interrupt raced completion)
+        # Detach from the event we were waiting on (for interrupts).
+        if (
+            self._target is not None
+            and self._target is not event
+            and self._target.callbacks is not None
+        ):
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.env._active = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._ok = True
+                    self._value = exc.value
+                    self.env._schedule(self, NORMAL)
+                    return
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    # If nothing waits on this process the exception must not
+                    # vanish: surface it from Environment.run().
+                    if not self.callbacks:
+                        self.env._crash(exc)
+                    self.env._schedule(self, NORMAL)
+                    return
+                if not isinstance(target, Event):
+                    exc2 = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {target!r}"
+                    )
+                    event = Event(self.env)
+                    event._ok = False
+                    event._value = exc2
+                    continue
+                if target._processed:
+                    # Already done: loop immediately with its value.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            self.env._active = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'dead'}>"
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+        self._crashed: Optional[BaseException] = None
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start *generator* as a new process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = t
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        if self._crashed is not None:
+            exc = self._crashed
+            self._crashed = None
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        *until* may be ``None`` (run until no events remain), a number (run
+        until that simulated time) or an :class:`Event` (run until it fires,
+        returning its value / raising its exception).
+        """
+        stop_at: Optional[float] = None
+        stop_ev: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_ev = until
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} lies in the past (now={self._now})"
+                )
+        while self._queue:
+            if stop_ev is not None and stop_ev._processed:
+                break
+            nxt = self._queue[0][0]
+            if stop_at is not None and nxt > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+        if stop_ev is not None:
+            if not stop_ev._processed:
+                raise SimulationError("run() finished but the awaited event never fired")
+            if stop_ev._ok:
+                return stop_ev._value
+            raise stop_ev._value
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now:.6f} queued={len(self._queue)}>"

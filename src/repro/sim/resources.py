@@ -1,0 +1,308 @@
+"""Shared resources for the DES kernel: semaphores, containers and stores.
+
+These follow SimPy's request/release and put/get protocols:
+
+* ``with resource.request() as req: yield req`` acquires a slot.
+* ``yield store.put(item)`` / ``item = yield store.get()`` pass objects.
+
+All wait queues are strict FIFO (or priority-then-FIFO) so that simulations
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = [
+    "Container",
+    "FilterStore",
+    "PriorityResource",
+    "PriorityStore",
+    "Request",
+    "Resource",
+    "Store",
+]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager: releases on exit (including when the
+    requesting process is interrupted before acquisition).
+    """
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unacquired request (no-op if already acquired)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource (semaphore) with a FIFO wait queue.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Number of concurrent holders allowed.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._seq = 0
+        #: requests currently holding a slot
+        self.users: list[Request] = []
+        #: waiting requests as a heap of (priority, seq, request)
+        self._waiters: list[tuple[int, int, Request]] = []
+
+    # -- public --------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return sum(1 for _, _, r in self._waiters if not r.triggered)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a held slot or withdraw a pending request.
+
+        A pending (never-granted) request is cancelled lazily: its callback
+        list is cleared and :meth:`_grant` skips it when it surfaces.
+        """
+        try:
+            self.users.remove(request)
+        except ValueError:
+            if not request.triggered:
+                request.callbacks = None
+            return
+        self._grant()
+
+    # -- internals -----------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._waiters, (request.priority, self._seq, request))
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            _, _, req = heapq.heappop(self._waiters)
+            if req.callbacks is None:  # cancelled
+                continue
+            self.users.append(req)
+            req.succeed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {len(self.users)}/{self.capacity} held,"
+            f" {self.queue_len} waiting>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def request(self, priority: int = 0) -> Request:  # noqa: D102 - inherited
+        return Request(self, priority)
+
+
+class Container:
+    """A continuous quantity (e.g. bytes of buffer space).
+
+    ``put`` adds, ``get`` removes; both block until satisfiable.  Gets are
+    served FIFO; a large blocked get blocks later smaller gets (no overtaking)
+    which models byte-credit queues faithfully.
+    """
+
+    def __init__(
+        self, env: Environment, capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if init < 0 or init > capacity:
+            raise SimulationError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._puts: list[tuple[Event, float]] = []
+        self._gets: list[tuple[Event, float]] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("amount must be non-negative")
+        ev = Event(self.env)
+        self._puts.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("amount must be non-negative")
+        if amount > self.capacity:
+            raise SimulationError("get amount exceeds container capacity")
+        ev = Event(self.env)
+        self._gets.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts:
+                ev, amt = self._puts[0]
+                if self._level + amt <= self.capacity:
+                    self._puts.pop(0)
+                    self._level += amt
+                    ev.succeed(amt)
+                    progress = True
+            if self._gets:
+                ev, amt = self._gets[0]
+                if amt <= self._level:
+                    self._gets.pop(0)
+                    self._level -= amt
+                    ev.succeed(amt)
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level}/{self.capacity}>"
+
+
+class Store:
+    """FIFO object queue with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putq: list[tuple[Event, Any]] = []
+        self._getq: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.env)
+        self._putq.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        self._getq.append(ev)
+        self._settle()
+        return ev
+
+    # -- hooks for subclasses -------------------------------------------
+    def _do_put(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _do_get(self, getter: Event) -> bool:
+        """Try to satisfy *getter*; return True on success."""
+        if self.items:
+            getter.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putq and len(self.items) < self.capacity:
+                ev, item = self._putq.pop(0)
+                self._do_put(item)
+                ev.succeed(None)
+                progress = True
+            i = 0
+            while i < len(self._getq):
+                getter = self._getq[i]
+                if getter.callbacks is None or getter.triggered:
+                    self._getq.pop(i)
+                    progress = True
+                    continue
+                if self._do_get(getter):
+                    self._getq.pop(i)
+                    progress = True
+                else:
+                    i += 1
+                    if type(self) is Store:
+                        break  # plain FIFO store: head blocks the rest
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} items={len(self.items)} waiters={len(self._getq)}>"
+
+
+class _FilterGet(Event):
+    """A get-event carrying the caller's item predicate."""
+
+    __slots__ = ("_filter",)
+
+    def __init__(
+        self, env: Environment, filter: Optional[Callable[[Any], bool]]  # noqa: A002
+    ) -> None:
+        super().__init__(env)
+        self._filter = filter
+
+
+class FilterStore(Store):
+    """Store whose getters can select items with a predicate."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:  # noqa: A002
+        ev = _FilterGet(self.env, filter)
+        self._getq.append(ev)
+        self._settle()
+        return ev
+
+    def _do_get(self, getter: Event) -> bool:
+        flt = getattr(getter, "_filter", None)
+        for idx, item in enumerate(self.items):
+            if flt is None or flt(item):
+                self.items.pop(idx)
+                getter.succeed(item)
+                return True
+        return False
+
+
+class PriorityStore(Store):
+    """Store that always yields the smallest item (heap ordering).
+
+    Items must be comparable; use ``(priority, seq, payload)`` tuples.
+    """
+
+    def _do_put(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _do_get(self, getter: Event) -> bool:
+        if self.items:
+            getter.succeed(heapq.heappop(self.items))
+            return True
+        return False

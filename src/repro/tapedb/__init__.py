@@ -1,0 +1,22 @@
+"""Embedded indexed table engine + the tape index database.
+
+TSM 5.5 keeps its object metadata in a proprietary database whose
+(volume, tape-sequence) columns are not indexed and cannot be queried
+efficiently (§4.2.5).  The paper's fix is an export job that copies the
+relevant columns into MySQL with proper indexes; PFTool then asks MySQL
+"which tape and where on it?" for every file to recall, and sorts
+recalls into tape order.
+
+:mod:`repro.tapedb` supplies the same capability:
+
+* :class:`Table` / :class:`Index` — a small in-memory table engine with
+  hash + sorted-range indexes and predicate scans;
+* :class:`TapeIndexDB` — the `filespace -> (volume, seq, object id)`
+  schema with the queries PFTool and the synchronous deleter need;
+* :class:`TsmDbExporter` — the periodic export job from a TSM server.
+"""
+
+from repro.tapedb.engine import Index, Table
+from repro.tapedb.tapeindex import TapeIndexDB, TapeLocation, TsmDbExporter
+
+__all__ = ["Index", "Table", "TapeIndexDB", "TapeLocation", "TsmDbExporter"]

@@ -1,0 +1,215 @@
+"""A tiny indexed table engine (the MySQL stand-in).
+
+Rows are dicts; a :class:`Table` enforces a column schema and maintains
+secondary :class:`Index` es (hash for equality, sorted arrays for range
+scans via :mod:`bisect`).  Just enough SQL-shaped capability for the
+archive: equality lookups, ordered range scans, predicate filters,
+deletes by key.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
+
+__all__ = ["Index", "Table"]
+
+Row = dict
+
+
+class Index:
+    """Secondary index over one or more columns.
+
+    Maintains both a hash map (equality) and a sorted key list (ordered
+    iteration / range queries).  Keys are tuples of the column values.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("index needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._hash: dict[tuple, list[int]] = {}
+        self._sorted_keys: list[tuple] = []
+
+    def key_of(self, row: Row) -> tuple:
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, rowid: int, row: Row) -> None:
+        key = self.key_of(row)
+        bucket = self._hash.get(key)
+        if bucket is None:
+            self._hash[key] = [rowid]
+            bisect.insort(self._sorted_keys, key)
+        else:
+            bucket.append(rowid)
+
+    def remove(self, rowid: int, row: Row) -> None:
+        key = self.key_of(row)
+        bucket = self._hash.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(rowid)
+        except ValueError:
+            return
+        if not bucket:
+            del self._hash[key]
+            i = bisect.bisect_left(self._sorted_keys, key)
+            if i < len(self._sorted_keys) and self._sorted_keys[i] == key:
+                self._sorted_keys.pop(i)
+
+    def lookup(self, key: tuple) -> list[int]:
+        return list(self._hash.get(key, ()))
+
+    def range(
+        self, lo: Optional[tuple] = None, hi: Optional[tuple] = None
+    ) -> Iterator[int]:
+        """Row ids with lo <= key < hi, in key order."""
+        start = 0 if lo is None else bisect.bisect_left(self._sorted_keys, lo)
+        stop = (
+            len(self._sorted_keys)
+            if hi is None
+            else bisect.bisect_left(self._sorted_keys, hi)
+        )
+        for key in self._sorted_keys[start:stop]:
+            yield from self._hash[key]
+
+    def prefix(self, prefix: tuple) -> Iterator[int]:
+        """Row ids whose key starts with *prefix*, in key order."""
+        lo = prefix
+        hi = prefix[:-1] + (_Biggest(prefix[-1]),)
+        start = bisect.bisect_left(self._sorted_keys, lo)
+        for key in self._sorted_keys[start:]:
+            if key[: len(prefix)] != prefix:
+                break
+            yield from self._hash[key]
+
+    def __len__(self) -> int:
+        return len(self._sorted_keys)
+
+
+class _Biggest:
+    """Sorts just after any value equal to its payload (prefix upper bound)."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+    def __lt__(self, other: Any) -> bool:
+        return False  # nothing is bigger
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+class Table:
+    """A schema'd in-memory table with a primary key and secondary indexes."""
+
+    def __init__(
+        self, name: str, columns: Sequence[str], primary_key: str
+    ) -> None:
+        if primary_key not in columns:
+            raise ValueError(f"primary key {primary_key!r} not in columns")
+        self.name = name
+        self.columns = tuple(columns)
+        self.primary_key = primary_key
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 1
+        self._pk: dict[Hashable, int] = {}
+        self._indexes: dict[str, Index] = {}
+
+    # -- schema ----------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str]) -> Index:
+        if name in self._indexes:
+            raise ValueError(f"duplicate index {name!r}")
+        idx = Index(name, columns)
+        for rowid, row in self._rows.items():
+            idx.add(rowid, row)
+        self._indexes[name] = idx
+        return idx
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(f"table {self.name}: no index {name!r}") from None
+
+    # -- DML -------------------------------------------------------------
+    def insert(self, row: Row) -> int:
+        missing = set(self.columns) - set(row)
+        extra = set(row) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"table {self.name}: bad columns (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        pk = row[self.primary_key]
+        if pk in self._pk:
+            raise ValueError(f"table {self.name}: duplicate key {pk!r}")
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        stored = dict(row)
+        self._rows[rowid] = stored
+        self._pk[pk] = rowid
+        for idx in self._indexes.values():
+            idx.add(rowid, stored)
+        return rowid
+
+    def get(self, pk: Hashable) -> Optional[Row]:
+        rowid = self._pk.get(pk)
+        return dict(self._rows[rowid]) if rowid is not None else None
+
+    def delete(self, pk: Hashable) -> bool:
+        rowid = self._pk.pop(pk, None)
+        if rowid is None:
+            return False
+        row = self._rows.pop(rowid)
+        for idx in self._indexes.values():
+            idx.remove(rowid, row)
+        return True
+
+    def update(self, pk: Hashable, **changes: Any) -> bool:
+        rowid = self._pk.get(pk)
+        if rowid is None:
+            return False
+        row = self._rows[rowid]
+        if self.primary_key in changes and changes[self.primary_key] != pk:
+            raise ValueError("cannot change the primary key")
+        for idx in self._indexes.values():
+            idx.remove(rowid, row)
+        row.update(changes)
+        for idx in self._indexes.values():
+            idx.add(rowid, row)
+        return True
+
+    # -- queries -----------------------------------------------------------
+    def select_eq(self, index_name: str, *key: Any) -> list[Row]:
+        idx = self.index(index_name)
+        return [dict(self._rows[r]) for r in idx.lookup(tuple(key))]
+
+    def select_prefix(self, index_name: str, *prefix: Any) -> list[Row]:
+        idx = self.index(index_name)
+        return [dict(self._rows[r]) for r in idx.prefix(tuple(prefix))]
+
+    def select_range(
+        self,
+        index_name: str,
+        lo: Optional[tuple] = None,
+        hi: Optional[tuple] = None,
+    ) -> list[Row]:
+        idx = self.index(index_name)
+        return [dict(self._rows[r]) for r in idx.range(lo, hi)]
+
+    def scan(self, where: Optional[Callable[[Row], bool]] = None) -> Iterator[Row]:
+        """Full table scan (what the un-indexed TSM DB forces you into)."""
+        for row in self._rows.values():
+            if where is None or where(row):
+                yield dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name} rows={len(self)} indexes={sorted(self._indexes)}>"

@@ -1,0 +1,29 @@
+"""Tape library simulation (LTO-4 class drives + robot + cartridges).
+
+Carries the tape physics that drive the paper's experience results:
+
+* **per-transaction start/stop (backhitch) penalty** — one file = one HSM
+  transaction, so migrating millions of 8 MB files ran at ~4 MB/s instead
+  of the drive's ~100+ MB/s streaming rate (§6.1);
+* **mount / rewind / locate costs** — unordered recalls thrash: the robot
+  mounts and the head seeks far more than tape-ordered recalls (§4.1.2);
+* **label re-verification on LAN-free client handoff** — when consecutive
+  operations on a mounted tape come from *different* cluster nodes the
+  drive rewinds and re-verifies the volume label (§6.2's "massive
+  performance hit even though the tape is not physically dismounted").
+
+Public surface: :class:`TapeLibrary`, :class:`TapeDrive`,
+:class:`TapeCartridge`, :class:`TapeExtent`, :class:`TapeSpec`.
+"""
+
+from repro.tapesim.cartridge import TapeCartridge, TapeExtent
+from repro.tapesim.drive import TapeDrive, TapeSpec
+from repro.tapesim.library import TapeLibrary
+
+__all__ = [
+    "TapeCartridge",
+    "TapeDrive",
+    "TapeExtent",
+    "TapeLibrary",
+    "TapeSpec",
+]

@@ -1,0 +1,117 @@
+"""Tape cartridges and the extents written on them.
+
+A cartridge records an append-only sequence of :class:`TapeExtent` s, one
+per written object (file or aggregate).  The *sequence id* is the ordinal
+used by PFTool's tape-ordered recall: reading extents in ascending seq on
+one cartridge means the tape moves strictly forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["TapeCartridge", "TapeExtent"]
+
+
+@dataclass(frozen=True)
+class TapeExtent:
+    """One object's placement on a cartridge."""
+
+    volume: str  # cartridge id
+    seq: int  # 1-based ordinal on the tape (the "tape sequence number")
+    start_byte: int  # longitudinal position of the first byte
+    nbytes: int
+    object_id: Hashable  # owning object (TSM object id)
+
+    @property
+    def end_byte(self) -> int:
+        return self.start_byte + self.nbytes
+
+
+class TapeCartridge:
+    """A single tape volume.
+
+    Parameters
+    ----------
+    volume:
+        Volume id (e.g. ``"A00017"``).
+    capacity_bytes:
+        Native capacity (LTO-4: 800 GB).
+    collocation_group:
+        Optional co-location key — TSM keeps one client/filespace's data
+        together on the same volumes when co-location is enabled (§4.2.2).
+    """
+
+    def __init__(
+        self,
+        volume: str,
+        capacity_bytes: float = 800e9,
+        collocation_group: Optional[str] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.volume = volume
+        self.capacity_bytes = float(capacity_bytes)
+        self.collocation_group = collocation_group
+        self.extents: list[TapeExtent] = []
+        self._by_object: dict[Hashable, TapeExtent] = {}
+        #: end-of-data position in bytes
+        self.eod: int = 0
+        #: volumes can be retired from scratch rotation
+        self.read_only = False
+
+    # -- content -----------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return len(self.extents) + 1
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.eod
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes and not self.read_only
+
+    def append(self, object_id: Hashable, nbytes: int) -> TapeExtent:
+        """Record an appended object at EOD; returns its extent."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not self.fits(nbytes):
+            raise ValueError(
+                f"volume {self.volume}: object of {nbytes}B does not fit "
+                f"({self.free_bytes:.0f}B free, read_only={self.read_only})"
+            )
+        ext = TapeExtent(self.volume, self.next_seq, self.eod, int(nbytes), object_id)
+        self.extents.append(ext)
+        self._by_object[object_id] = ext
+        self.eod += int(nbytes)
+        return ext
+
+    def extent_of(self, object_id: Hashable) -> Optional[TapeExtent]:
+        return self._by_object.get(object_id)
+
+    def remove(self, object_id: Hashable) -> bool:
+        """Logically delete an object (space is NOT reclaimed until the
+        volume is reclaimed/rewritten — true to tape semantics)."""
+        ext = self._by_object.pop(object_id, None)
+        if ext is None:
+            return False
+        self.extents = [e for e in self.extents if e.object_id != object_id]
+        return True
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(e.nbytes for e in self.extents)
+
+    @property
+    def utilization(self) -> float:
+        """Live data as a fraction of written data (reclamation driver)."""
+        return self.live_bytes / self.eod if self.eod else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TapeCartridge {self.volume} {self.eod/1e9:.1f}/"
+            f"{self.capacity_bytes/1e9:.0f} GB written, "
+            f"{len(self.extents)} extents>"
+        )

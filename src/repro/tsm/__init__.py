@@ -1,0 +1,26 @@
+"""TSM (Tivoli Storage Manager) server model.
+
+The back-end archive product: an object database over every stored file,
+storage-pool/volume management with co-location, and two data paths —
+
+* **LAN**: all data funnels through the TSM server's network interface
+  (the scalability bottleneck the paper calls out in §4.2.2);
+* **LAN-free**: clients stream straight to SAN-attached tape drives while
+  only metadata touches the server, which is what makes *parallel* tape
+  movement possible (Figure 6).
+
+Also implements **aggregation** (bundling small files into one tape
+object — the §6.1 fix TSM's backup client has but migration lacked) and
+the export hook feeding :class:`repro.tapedb.TsmDbExporter`.
+"""
+
+from repro.tsm.server import StoredObject, TsmServer, TsmSession
+from repro.tsm.shard import ShardedTsmSession, ShardedTsmStore
+
+__all__ = [
+    "ShardedTsmSession",
+    "ShardedTsmStore",
+    "StoredObject",
+    "TsmServer",
+    "TsmSession",
+]

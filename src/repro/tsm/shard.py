@@ -1,0 +1,213 @@
+"""Multiple TSM servers behind one namespace (§6.4's asked-for feature).
+
+The paper: "Having a single TSM server creates a single point of a
+failure... and a limitation when we need to scale beyond what a single
+TSM server can provide... native support for multiple TSM servers would
+be beneficial to maintain a single namespace."
+
+:class:`ShardedTsmStore` provides exactly that surface: it routes each
+path to one of N member servers (stable hash, so a file's objects always
+live on one server) while presenting the same API the HSM manager and
+PFTool consume — ``open_session``, ``store_objects``,
+``store_aggregate``, ``retrieve_objects``, ``locate``, ``delete_object``,
+``objects_for_path``, ``export_rows``.
+
+Object ids are made globally unique by giving each member server a
+disjoint id range, so the tape index and the synchronous deleter work
+unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence
+
+from repro.sim import AllOf, Environment, Event, SimulationError
+from repro.tsm.server import StoredObject, TsmServer
+
+__all__ = ["ShardedTsmSession", "ShardedTsmStore"]
+
+#: id-space stride per member server (disjoint object-id ranges)
+OID_STRIDE = 10**12
+
+
+class ShardedTsmSession:
+    """A client session fanned out across the member servers."""
+
+    def __init__(self, store: "ShardedTsmStore", client_node: str,
+                 lan_free: bool = True) -> None:
+        self.store = store
+        self.client_node = client_node
+        self.lan_free = lan_free
+        self._member_sessions = [
+            srv.open_session(client_node, lan_free) for srv in store.servers
+        ]
+
+    def session_for_shard(self, shard: int):
+        return self._member_sessions[shard]
+
+    def __repr__(self) -> str:
+        return f"<ShardedTsmSession {self.client_node} x{len(self._member_sessions)}>"
+
+
+class ShardedTsmStore:
+    """N TSM servers, one namespace.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    servers:
+        Member servers.  Their object-id counters are re-based onto
+        disjoint ranges at construction.
+    """
+
+    def __init__(self, env: Environment, servers: Sequence[TsmServer]) -> None:
+        if not servers:
+            raise SimulationError("sharded store needs at least one server")
+        self.env = env
+        self.servers = list(servers)
+        for idx, srv in enumerate(self.servers):
+            srv._oid = itertools.count(1 + idx * OID_STRIDE)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of_path(self, path: str) -> int:
+        # stable, cheap, spreads directories: fnv-style over the path
+        h = 2166136261
+        for ch in path:
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+        return h % len(self.servers)
+
+    def shard_of_object(self, object_id: int) -> int:
+        shard = (object_id - 1) // OID_STRIDE
+        if not (0 <= shard < len(self.servers)):
+            raise SimulationError(f"object id {object_id} outside shard ranges")
+        return shard
+
+    def server_for_path(self, path: str) -> TsmServer:
+        return self.servers[self.shard_of_path(path)]
+
+    # ------------------------------------------------------------------
+    # the TsmServer surface
+    # ------------------------------------------------------------------
+    def open_session(self, client_node: str, lan_free: bool = True):
+        return ShardedTsmSession(self, client_node, lan_free)
+
+    def store_objects(
+        self,
+        session: ShardedTsmSession,
+        filespace: str,
+        items: Sequence[tuple[str, int]],
+        collocation_group: Optional[str] = None,
+    ) -> Event:
+        """Split the batch by shard and store on every shard in parallel
+        (each shard holds its own drive — the scalability win)."""
+        done = self.env.event()
+        buckets: dict[int, list[tuple[str, int]]] = {}
+        for path, nbytes in items:
+            buckets.setdefault(self.shard_of_path(path), []).append((path, nbytes))
+
+        def _proc():
+            evs = [
+                self.servers[shard].store_objects(
+                    session.session_for_shard(shard), filespace, batch,
+                    collocation_group,
+                )
+                for shard, batch in sorted(buckets.items())
+            ]
+            receipts: list[StoredObject] = []
+            if evs:
+                got = yield AllOf(self.env, evs)
+                for ev in evs:
+                    receipts.extend(got[ev])
+            done.succeed(receipts)
+
+        self.env.process(_proc(), name="sharded-store")
+        return done
+
+    def store_aggregate(
+        self,
+        session: ShardedTsmSession,
+        filespace: str,
+        items: Sequence[tuple[str, int]],
+        collocation_group: Optional[str] = None,
+    ) -> Event:
+        """Aggregates must stay on one shard (one tape object); route the
+        whole bundle by its first member's path."""
+        done = self.env.event()
+        items = list(items)
+        if not items:
+            done.succeed([])
+            return done
+        shard = self.shard_of_path(items[0][0])
+
+        def _proc():
+            receipts = yield self.servers[shard].store_aggregate(
+                session.session_for_shard(shard), filespace, items,
+                collocation_group,
+            )
+            done.succeed(receipts)
+
+        self.env.process(_proc(), name="sharded-store-agg")
+        return done
+
+    def retrieve_objects(
+        self, session: ShardedTsmSession, object_ids: Sequence[int]
+    ) -> Event:
+        """Group by owning shard, preserve the caller's order per shard
+        (tape ordering is per-volume and volumes never span shards)."""
+        done = self.env.event()
+        buckets: dict[int, list[int]] = {}
+        for oid in object_ids:
+            buckets.setdefault(self.shard_of_object(oid), []).append(oid)
+
+        def _proc():
+            evs = [
+                self.servers[shard].retrieve_objects(
+                    session.session_for_shard(shard), ids
+                )
+                for shard, ids in sorted(buckets.items())
+            ]
+            delivered: list[StoredObject] = []
+            if evs:
+                got = yield AllOf(self.env, evs)
+                for ev in evs:
+                    delivered.extend(got[ev])
+            done.succeed(delivered)
+
+        self.env.process(_proc(), name="sharded-retrieve")
+        return done
+
+    def locate(self, object_id: int) -> Optional[StoredObject]:
+        return self.servers[self.shard_of_object(object_id)].locate(object_id)
+
+    def delete_object(self, object_id: int) -> Event:
+        return self.servers[self.shard_of_object(object_id)].delete_object(object_id)
+
+    def objects_for_path(self, filespace: str, path: str) -> list[StoredObject]:
+        return self.server_for_path(path).objects_for_path(filespace, path)
+
+    def export_rows(self) -> Iterator[dict]:
+        for srv in self.servers:
+            yield from srv.export_rows()
+
+    # ------------------------------------------------------------------
+    @property
+    def objects(self):  # parity helper for len()-style introspection
+        class _Union:
+            def __init__(self, servers):
+                self._servers = servers
+
+            def __len__(self) -> int:
+                return sum(len(s.objects) for s in self._servers)
+
+        return _Union(self.servers)
+
+    @property
+    def transactions(self) -> int:
+        return sum(s.transactions for s in self.servers)
+
+    def __repr__(self) -> str:
+        return f"<ShardedTsmStore servers={len(self.servers)} objects={len(self.objects)}>"

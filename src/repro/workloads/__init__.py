@@ -1,0 +1,52 @@
+"""Workload generation: the Roadrunner Open Science job mix.
+
+Figures 8-11 of the paper characterise 62 production parallel-archive
+jobs recorded over 18 operation days (summer 2009):
+
+==============================  =========  ==========  =========
+statistic                        min        max         mean
+==============================  =========  ==========  =========
+files per job (Fig 8)            1          2,920,088   167,491
+data per job (Fig 9)             4 GB       32,593 GB   2,442 GB
+per-job data rate (Fig 10)       73 MB/s    1,868 MB/s  ~575 MB/s
+mean file size per job (Fig 11)  4 KB       4,220 MB    596 MB
+==============================  =========  ==========  =========
+
+:func:`generate_open_science_trace` regenerates a statistically matching
+62-job trace (Figures 8/9/11 are pure workload figures); the FIG10 bench
+then *runs* the trace through the simulated system to measure rates.
+"""
+
+from repro.workloads.openscience import (
+    JobSpec,
+    OpenScienceTrace,
+    PAPER_62_JOBS,
+    generate_open_science_trace,
+)
+from repro.workloads.generators import (
+    huge_file_campaign,
+    materialize_job,
+    small_file_flood,
+)
+from repro.workloads.persistence import (
+    load_job_records,
+    load_trace,
+    save_job_records,
+    save_trace,
+)
+from repro.workloads.sizes import lognormal_sizes
+
+__all__ = [
+    "JobSpec",
+    "OpenScienceTrace",
+    "PAPER_62_JOBS",
+    "generate_open_science_trace",
+    "huge_file_campaign",
+    "load_job_records",
+    "load_trace",
+    "lognormal_sizes",
+    "materialize_job",
+    "save_job_records",
+    "save_trace",
+    "small_file_flood",
+]

@@ -1,0 +1,104 @@
+"""Materialising workloads onto a (scratch) file system.
+
+These build the directory trees PFTool will walk: an Open Science job
+becomes ``<root>/job<k>/run<i>/f<j>`` with lognormal file sizes, plus
+the special-purpose generators for the experience-section experiments
+(small-file floods for E1, huge-file campaigns for A2/A4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.pfs import GpfsFileSystem
+from repro.sim.rng import RandomStreams
+from repro.workloads.openscience import JobSpec
+from repro.workloads.sizes import lognormal_sizes
+
+__all__ = ["huge_file_campaign", "materialize_job", "small_file_flood"]
+
+
+def _instant_create(
+    fs: GpfsFileSystem, client: str, path: str, size: int, token_base: int
+) -> None:
+    """Create a pre-existing file without charging simulation time.
+
+    Workload *setup* happened before the measured window in the paper
+    (the science runs wrote scratch over days); benches must not bill
+    that time to the archive job, so setup bypasses the timed data path.
+    """
+    inode = fs.namespace.create(path, fs.env.now)
+    inode.size = int(size)
+    pool_name = fs.policy.place(path, inode, fs.env.now)
+    pool = fs.pool(pool_name)
+    fs._allocate(inode, pool, int(size))
+    inode.pool = pool_name
+    inode.content_token = token_base + inode.ino
+
+
+def materialize_job(
+    fs: GpfsFileSystem,
+    job: JobSpec,
+    root: str,
+    seed: Optional[int] = None,
+    files_per_dir: int = 256,
+    sigma: float = 0.6,
+) -> dict:
+    """Create *job*'s tree under *root* on *fs* (instantaneous setup).
+
+    Returns {'root': ..., 'n_files': ..., 'total_bytes': ...} with the
+    exact materialised totals.
+    """
+    rng = RandomStreams(job.job_id if seed is None else seed).stream("files")
+    n = job.n_files
+    mean = max(1024.0, job.total_bytes / max(1, n))
+    sizes = lognormal_sizes(rng, n, mean, sigma=sigma)
+    fs.mkdir(root, parents=True)
+    n_dirs = max(1, math.ceil(n / files_per_dir))
+    total = 0
+    for d in range(n_dirs):
+        dpath = f"{root}/run{d:04d}"
+        fs.mkdir(dpath, parents=True)
+        lo = d * files_per_dir
+        hi = min(n, lo + files_per_dir)
+        for j in range(lo, hi):
+            size = int(sizes[j])
+            _instant_create(fs, "setup", f"{dpath}/f{j:07d}", size, job.job_id << 20)
+            total += size
+    return {"root": root, "n_files": n, "total_bytes": total}
+
+
+def small_file_flood(
+    fs: GpfsFileSystem,
+    root: str,
+    n_files: int,
+    file_size: int = 8_000_000,
+) -> list[str]:
+    """§6.1's pathology: *n_files* identical small files (default 8 MB).
+
+    Returns the created paths.
+    """
+    fs.mkdir(root, parents=True)
+    paths = []
+    for i in range(n_files):
+        p = f"{root}/small{i:07d}"
+        _instant_create(fs, "setup", p, file_size, 0xE1 << 20)
+        paths.append(p)
+    return paths
+
+
+def huge_file_campaign(
+    fs: GpfsFileSystem,
+    root: str,
+    n_files: int,
+    file_size: int,
+) -> list[str]:
+    """A2/A4-style campaign: a few enormous files (checkpoint dumps)."""
+    fs.mkdir(root, parents=True)
+    paths = []
+    for i in range(n_files):
+        p = f"{root}/huge{i:03d}.h5"
+        _instant_create(fs, "setup", p, file_size, 0xA2 << 20)
+        paths.append(p)
+    return paths

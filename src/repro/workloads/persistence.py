@@ -1,0 +1,79 @@
+"""Persisting traces and job records to JSON.
+
+The paper's evaluation is built on 18 operation days of recorded job
+statistics.  These helpers give the reproduction the same workflow:
+traces and per-job :class:`~repro.pftool.stats.JobStats` records can be
+written to disk, reloaded, and re-analysed without re-running the
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Sequence, Union
+
+from repro.workloads.openscience import JobSpec, OpenScienceTrace
+
+__all__ = ["load_job_records", "load_trace", "save_job_records", "save_trace"]
+
+PathLike = Union[str, pathlib.Path]
+
+_TRACE_FORMAT = "repro-openscience-trace-v1"
+_RECORDS_FORMAT = "repro-job-records-v1"
+
+
+def save_trace(trace: OpenScienceTrace, path: PathLike) -> pathlib.Path:
+    """Write a trace as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    payload = {
+        "format": _TRACE_FORMAT,
+        "seed": trace.seed,
+        "jobs": [
+            {"job_id": j.job_id, "n_files": j.n_files,
+             "total_bytes": j.total_bytes}
+            for j in trace.jobs
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_trace(path: PathLike) -> OpenScienceTrace:
+    """Read a trace written by :func:`save_trace`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != _TRACE_FORMAT:
+        raise ValueError(
+            f"{path}: not an open-science trace "
+            f"(format={payload.get('format')!r})"
+        )
+    jobs = [
+        JobSpec(j["job_id"], j["n_files"], j["total_bytes"])
+        for j in payload["jobs"]
+    ]
+    return OpenScienceTrace(jobs=jobs, seed=payload.get("seed", 0))
+
+
+def save_job_records(
+    records: Iterable[dict], path: PathLike
+) -> pathlib.Path:
+    """Write job-stat dicts (see ``JobStats.to_dict``) as JSON lines with
+    a header record; returns the path."""
+    path = pathlib.Path(path)
+    lines = [json.dumps({"format": _RECORDS_FORMAT})]
+    lines += [json.dumps(r) for r in records]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_job_records(path: PathLike) -> list[dict]:
+    """Read records written by :func:`save_job_records`."""
+    raw = pathlib.Path(path).read_text().splitlines()
+    if not raw:
+        raise ValueError(f"{path}: empty records file")
+    header = json.loads(raw[0])
+    if header.get("format") != _RECORDS_FORMAT:
+        raise ValueError(
+            f"{path}: not a job-records file (format={header.get('format')!r})"
+        )
+    return [json.loads(line) for line in raw[1:] if line.strip()]

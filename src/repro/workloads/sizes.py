@@ -1,0 +1,40 @@
+"""File-size distributions for scientific archive workloads.
+
+HPC output files are classically modelled as lognormal within a
+campaign: a run writes many similar checkpoint/analysis files whose
+sizes cluster around a campaign-specific mode with a heavy right tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lognormal_sizes"]
+
+
+def lognormal_sizes(
+    rng: np.random.Generator,
+    n: int,
+    mean_bytes: float,
+    sigma: float = 0.6,
+    min_bytes: int = 1024,
+) -> np.ndarray:
+    """Draw *n* file sizes with the requested arithmetic mean.
+
+    For a lognormal, ``E[X] = exp(mu + sigma^2/2)``; we solve for ``mu``
+    so the sample mean targets *mean_bytes*, then rescale exactly so
+    that downstream byte accounting is deterministic.
+
+    Returns an int64 array, each entry >= *min_bytes*.
+    """
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if mean_bytes < min_bytes:
+        mean_bytes = float(min_bytes)
+    mu = np.log(mean_bytes) - sigma**2 / 2.0
+    sizes = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    sizes = np.maximum(sizes, min_bytes)
+    # exact-mean rescale (keeps total bytes = n * mean_bytes)
+    scale = (n * mean_bytes) / sizes.sum()
+    sizes = np.maximum((sizes * scale).astype(np.int64), min_bytes)
+    return sizes

@@ -1,0 +1,219 @@
+"""Tests for trashcan, synchronous deleter, balanced migrator, chroot."""
+
+import pytest
+
+from repro.archive import ArchiveParams, CommandPolicy, ParallelArchiveSystem
+from repro.archive.migrator import BalancedMigrator
+from repro.hsm import ReconcileAgent
+from repro.pfs.policy import PolicyHit
+from repro.pfs.inode import FileKind, Inode
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env, **over):
+    kw = dict(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+    )
+    kw.update(over)
+    return ParallelArchiveSystem(env, ArchiveParams(**kw))
+
+
+def cfg_small():
+    return PftoolConfig(num_workers=4, num_readdir=1, num_tapeprocs=2,
+                        stat_batch=8, copy_batch=4)
+
+
+def archive_files(env, system, layout):
+    def go():
+        for path, size in layout.items():
+            parent = path.rsplit("/", 1)[0] or "/"
+            system.archive_fs.mkdir(parent, parents=True)
+            yield system.archive_fs.write_file("fta0", path, size)
+
+    env.run(env.process(go()))
+
+
+# ---------------------------------------------------------------------------
+# trashcan + synchronous delete
+# ---------------------------------------------------------------------------
+
+def test_user_delete_goes_to_trashcan_and_undelete():
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/proj/f": 5 * MB})
+    system.user_delete("/proj/f", user="alice")
+    assert not system.archive_fs.exists("/proj/f")
+    assert len(system.trashcan) == 1
+    assert system.undelete("/proj/f")
+    assert system.archive_fs.exists("/proj/f")
+    assert len(system.trashcan) == 0
+
+
+def test_sweep_deletes_fs_and_tape_sides():
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/proj/a": 5 * MB, "/proj/b": 5 * MB})
+    env.run(system.migrate_to_tape())
+    oid_a = system.archive_fs.lookup("/proj/a").tsm_object_id
+    system.user_delete("/proj/a")
+    n = env.run(system.sweep_trash())
+    assert n == 1
+    assert system.tsm.locate(oid_a) is None  # tape side gone: no orphan
+    assert system.tapedb.location_of(oid_a) is None
+    # /proj/b untouched
+    assert system.tsm.locate(system.archive_fs.lookup("/proj/b").tsm_object_id)
+
+
+def test_sweep_respects_min_age():
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/proj/a": MB})
+    system.user_delete("/proj/a")
+    n = env.run(system.sweep_trash(min_age=3600.0))
+    assert n == 0
+    assert len(system.trashcan) == 1
+
+
+def test_sweep_leaves_no_orphans_for_reconcile():
+    """After sweeps, a reconcile pass finds zero orphans (the design goal)."""
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {f"/p/f{i}": MB for i in range(6)})
+    env.run(system.migrate_to_tape())
+    for i in range(3):
+        system.user_delete(f"/p/f{i}")
+    env.run(system.sweep_trash())
+    agent = ReconcileAgent(env, system.archive_fs, system.tsm)
+    report = env.run(agent.run(delete_orphans=False))
+    assert report.orphans_found == 0
+
+
+def test_overwrite_orphan_swept():
+    """§6.3: overwriting a migrated file strands its tape object —
+    the system records and sweeps it without reconciliation."""
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/p/f": MB})
+    env.run(system.migrate_to_tape(punch=False))
+    old_oid = system.archive_fs.lookup("/p/f").tsm_object_id
+    env.run(system.archive_fs.write_file("fta0", "/p/f", 2 * MB))  # overwrite
+    assert system.overwrite_orphans == [old_oid]
+    n = env.run(system.sweep_trash())
+    assert n == 1
+    assert system.tsm.locate(old_oid) is None
+
+
+def test_trash_on_migrated_file_preserves_object_until_sweep():
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/p/f": MB})
+    env.run(system.migrate_to_tape())
+    oid = system.archive_fs.lookup("/p/f").tsm_object_id
+    system.user_delete("/p/f")
+    # before the sweep the tape copy still exists (undelete works)
+    assert system.tsm.locate(oid) is not None
+    assert system.undelete("/p/f")
+    assert system.archive_fs.lookup("/p/f").tsm_object_id == oid
+
+
+# ---------------------------------------------------------------------------
+# balanced migrator
+# ---------------------------------------------------------------------------
+
+def _hits(sizes):
+    out = []
+    for i, s in enumerate(sizes):
+        ino = Inode(FileKind.FILE, 0.0)
+        ino.size = s
+        out.append(PolicyHit(f"/f{i}", ino))
+    return out
+
+
+def test_lpt_partition_balances_bytes():
+    hits = _hits([100, 90, 80, 10, 10, 10])
+    buckets = BalancedMigrator.partition(hits, ["n0", "n1", "n2"])
+    totals = sorted(sum(h.inode.size for h in b) for b in buckets.values())
+    assert totals == [100, 100, 100]
+
+
+def test_lpt_partition_single_node():
+    hits = _hits([5, 3])
+    buckets = BalancedMigrator.partition(hits, ["solo"])
+    assert len(buckets["solo"]) == 2
+
+
+def test_partition_requires_nodes():
+    with pytest.raises(Exception):
+        BalancedMigrator.partition(_hits([1]), [])
+
+
+def test_migrate_to_tape_reports_assignment_and_low_skew():
+    env = Environment()
+    system = small_site(env)
+    sizes = {f"/p/f{i}": (50 - 4 * i) * MB for i in range(10)}
+    archive_files(env, system, sizes)
+    report = env.run(system.migrate_to_tape())
+    assert report.files == 10
+    assert len(report.assignment) == 4
+    assigned_bytes = [b for _, b in report.assignment.values()]
+    assert max(assigned_bytes) - min(assigned_bytes) <= 50 * MB
+    assert report.skew < report.duration
+
+
+def test_migrate_excludes_trash_and_manifests():
+    env = Environment()
+    system = small_site(env)
+    archive_files(env, system, {"/p/live": MB, "/p/doomed": MB})
+    system.user_delete("/p/doomed")
+    report = env.run(system.migrate_to_tape())
+    assert report.files == 1  # only the live file
+
+
+# ---------------------------------------------------------------------------
+# chroot jail
+# ---------------------------------------------------------------------------
+
+def test_jail_allows_tape_aware_tools():
+    policy = CommandPolicy()
+    for cmd in ("pfls /archive", "pfcp /scratch/x /archive/x", "ls", "tar cf"):
+        policy.check(cmd)
+
+
+def test_jail_denies_grep():
+    policy = CommandPolicy()
+    with pytest.raises(PermissionError):
+        policy.check("grep -r pattern /archive")
+    assert not policy.is_allowed("egrep foo")
+    assert not policy.is_allowed("python")
+
+
+def test_jail_empty_command():
+    assert not CommandPolicy().is_allowed("")
+
+
+# ---------------------------------------------------------------------------
+# loadmanager integration
+# ---------------------------------------------------------------------------
+
+def test_loadmanager_orders_nodes():
+    env = Environment()
+    system = small_site(env)
+    lm = system.loadmanager
+    first = lm.machine_list()
+    lm.job_started([first[0], first[1]])
+    reordered = lm.machine_list()
+    assert reordered[0] not in (first[0], first[1])
+    lm.job_finished([first[0], first[1]])
+    assert lm.machine_list() == first

@@ -1,0 +1,75 @@
+"""Smoke tests for the CLI front ends (argument parsing + end-to-end)."""
+
+import pytest
+
+from repro.cli import bench as bench_cli
+from repro.cli import pfcm as pfcm_cli
+from repro.cli import pfcp as pfcp_cli
+from repro.cli import pfls as pfls_cli
+from repro.cli._shared import parse_size
+
+MB = 1_000_000
+
+
+def test_parse_size_units():
+    assert parse_size("1024") == 1024
+    assert parse_size("50MB") == 50 * MB
+    assert parse_size("50mb") == 50 * MB
+    assert parse_size("2g") == 2_000_000_000
+    assert parse_size("1.5k") == 1500
+    assert parse_size(" 4 GB ") == 4_000_000_000
+
+
+SMALL = [
+    "--files", "8", "--size", "5MB", "--workers", "4",
+    "--fta", "2", "--drives", "2",
+]
+
+
+def test_pfcp_cli_runs(capsys):
+    rc = pfcp_cli.main(SMALL)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pftool copy: 8 files" in out
+
+
+def test_pfcp_cli_with_migrate(capsys):
+    rc = pfcp_cli.main(SMALL + ["--migrate"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "migrated 8 files" in out
+
+
+def test_pfls_cli_runs(capsys):
+    rc = pfls_cli.main(SMALL + ["--limit", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "8 files listed" in out
+    assert out.count("/archive/") == 3
+
+
+def test_pfcm_cli_clean(capsys):
+    rc = pfcm_cli.main(SMALL)
+    assert rc == 0
+    assert "0 mismatches" in capsys.readouterr().out
+
+
+def test_pfcm_cli_detects_corruption(capsys):
+    rc = pfcm_cli.main(SMALL + ["--corrupt", "2"])
+    assert rc == 0  # detection matched the injected count
+    out = capsys.readouterr().out
+    assert "2 mismatches" in out
+    assert out.count("MISMATCH") == 2
+
+
+def test_bench_cli_lists_experiments(capsys):
+    rc = bench_cli.main([])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for exp in ("FIG10", "E1", "A5", "A7"):
+        assert exp in out
+
+
+def test_bench_cli_unknown_experiment(capsys):
+    rc = bench_cli.main(["ZZ9"])
+    assert rc == 2

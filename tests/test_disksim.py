@@ -1,0 +1,90 @@
+"""Tests for the disk array model."""
+
+import pytest
+
+from repro.disksim import DiskArray
+from repro.sim import Environment, SimulationError
+
+
+def test_single_write_timing():
+    env = Environment()
+    arr = DiskArray(env, "a0", capacity_bytes=1e12, bandwidth=100e6, seek_time=0.01)
+    res = env.run(arr.write(100e6))
+    assert res.duration == pytest.approx(1.01)
+    assert arr.writes == 1
+    assert arr.bytes_written == 100e6
+
+
+def test_reads_and_writes_share_bandwidth():
+    env = Environment()
+    arr = DiskArray(env, "a0", capacity_bytes=1e12, bandwidth=100e6, seek_time=0.0)
+    ends = []
+
+    def go(op):
+        ev = arr.read(100e6) if op == "r" else arr.write(100e6)
+        res = yield ev
+        ends.append(res.end)
+
+    env.process(go("r"))
+    env.process(go("w"))
+    env.run()
+    # 200 MB total at 100 MB/s aggregate... but read and write ride separate
+    # duplex directions of the internal link, so both finish at ~1s.
+    assert max(ends) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_two_writes_contend():
+    env = Environment()
+    arr = DiskArray(env, "a0", capacity_bytes=1e12, bandwidth=100e6, seek_time=0.0)
+    ends = []
+
+    def go():
+        res = yield arr.write(100e6)
+        ends.append(res.end)
+
+    env.process(go())
+    env.process(go())
+    env.run()
+    assert max(ends) == pytest.approx(2.0, rel=1e-6)
+
+
+def test_queue_depth_limits_concurrency():
+    env = Environment()
+    arr = DiskArray(
+        env, "a0", capacity_bytes=1e12, bandwidth=100e6, seek_time=1.0, queue_depth=1
+    )
+    results = []
+
+    def go():
+        res = yield arr.write(0)
+        results.append(res)
+
+    env.process(go())
+    env.process(go())
+    env.run()
+    # seek-only ops serialized by queue_depth=1: second queues for 1s
+    assert results[1].queued == pytest.approx(1.0)
+
+
+def test_capacity_accounting():
+    env = Environment()
+    arr = DiskArray(env, "a0", capacity_bytes=1000, bandwidth=1e6)
+    arr.allocate(600)
+    assert arr.free_bytes == 400
+    with pytest.raises(SimulationError):
+        arr.allocate(500)
+    arr.free(100)
+    assert arr.free_bytes == 500
+    arr.free(10_000)  # clamps at zero used
+    assert arr.used_bytes == 0
+
+
+def test_invalid_params():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        DiskArray(env, "bad", capacity_bytes=0, bandwidth=1)
+    arr = DiskArray(env, "ok", capacity_bytes=1, bandwidth=1)
+    with pytest.raises(SimulationError):
+        arr.allocate(-1)
+    with pytest.raises(SimulationError):
+        arr.read(-5)

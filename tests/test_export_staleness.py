@@ -1,0 +1,84 @@
+"""The tape-index export is periodic, so it can lag TSM (§4.2.5).
+
+PFTool must still restore files migrated *after* the last export: the
+Manager falls back to asking TSM directly for objects the index DB does
+not know (slow, but correct).  These tests pin that behaviour.
+"""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+from repro.workloads import small_file_flood
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def build(env):
+    return ParallelArchiveSystem(
+        env,
+        ArchiveParams(n_fta=4, n_disk_servers=2, n_tape_drives=2,
+                      n_scratch_tapes=8, tape_spec=SPEC),
+    )
+
+
+def cfg():
+    return PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=2)
+
+
+def test_restore_with_stale_index_falls_back_to_tsm():
+    env = Environment()
+    system = build(env)
+    paths = small_file_flood(system.archive_fs, "/cold", 6, 10 * MB)
+    # migrate WITHOUT refreshing the index (bypass migrate_to_tape)
+    env.run(system.hsm.migrate("fta0", paths))
+    assert len(system.tapedb) == 0  # the index knows nothing
+
+    stats = env.run(system.retrieve("/cold", "/back", cfg()).done)
+    assert stats.tape_files_restored == 6
+    assert stats.files_failed == 0
+    for i in range(6):
+        assert system.scratch_fs.exists(f"/back/small{i:07d}")
+
+
+def test_periodic_export_catches_up():
+    env = Environment()
+    system = build(env)
+    system.exporter.run_periodic(interval=100.0)
+    paths = small_file_flood(system.archive_fs, "/cold", 4, 5 * MB)
+
+    def go():
+        yield system.hsm.migrate("fta0", paths)
+        yield env.timeout(200.0)  # let at least one export tick pass
+
+    env.run(env.process(go()))
+    assert len(system.tapedb) == 4
+    loc = system.tapedb.object_for_path(
+        "archive", paths[0]
+    )
+    assert loc is not None
+    assert system.exporter.exports >= 2
+
+
+def test_mixed_fresh_and_stale_entries():
+    """Half the files are in the index, half only in TSM — both restore."""
+    env = Environment()
+    system = build(env)
+    paths = small_file_flood(system.archive_fs, "/cold", 8, 5 * MB)
+    env.run(system.hsm.migrate("fta0", paths[:4]))
+    env.run(system.exporter.run_once())  # index knows the first four
+    env.run(system.hsm.migrate("fta1", paths[4:]))  # these are stale
+    assert len(system.tapedb) == 4
+
+    stats = env.run(system.retrieve("/cold", "/back", cfg()).done)
+    assert stats.tape_files_restored == 8
+    assert stats.files_failed == 0

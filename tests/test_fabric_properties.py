@@ -1,0 +1,111 @@
+"""Property tests for the fluid fabric: conservation + capacity respect
+under randomly generated topologies and transfer schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Fabric
+from repro.sim import Environment
+
+
+@st.composite
+def _scenario(draw):
+    n_nodes = draw(st.integers(2, 5))
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    # a connected chain plus random extra edges
+    edges = [(nodes[i], nodes[i + 1]) for i in range(n_nodes - 1)]
+    extra = draw(st.integers(0, 3))
+    for _ in range(extra):
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes))
+        if a != b and (a, b) not in edges and (b, a) not in edges:
+            edges.append((a, b))
+    caps = [draw(st.floats(10.0, 1000.0)) for _ in edges]
+    n_xfers = draw(st.integers(1, 8))
+    xfers = []
+    for _ in range(n_xfers):
+        src = draw(st.sampled_from(nodes))
+        dst = draw(st.sampled_from([n for n in nodes if n != src]))
+        nbytes = draw(st.floats(1.0, 10_000.0))
+        start = draw(st.floats(0.0, 50.0))
+        xfers.append((src, dst, nbytes, start))
+    return edges, caps, xfers
+
+
+@given(_scenario())
+@settings(max_examples=60, deadline=None)
+def test_all_transfers_complete_and_conserve_bytes(scenario):
+    edges, caps, xfers = scenario
+    env = Environment()
+    fab = Fabric(env)
+    for (a, b), c in zip(edges, caps):
+        fab.add_link(a, b, capacity=c)
+    results = []
+
+    def launch(src, dst, nbytes, start):
+        yield env.timeout(start)
+        res = yield fab.transfer(src, dst, nbytes)
+        results.append(res)
+
+    for src, dst, nbytes, start in xfers:
+        env.process(launch(src, dst, nbytes, start))
+    env.run()
+    assert len(results) == len(xfers)
+    total_sent = sum(x[2] for x in xfers)
+    # delivered-bytes accounting matches what was requested
+    assert fab.bytes_delivered == pytest.approx(total_sent, rel=1e-6, abs=1e-3)
+    # every transfer finished no earlier than physics allows on its path
+    for res, (src, dst, nbytes, start) in zip(
+        sorted(results, key=lambda r: (r.src, r.dst, r.nbytes)),
+        sorted(xfers, key=lambda x: (x[0], x[1], x[2])),
+    ):
+        route = fab.route(res.src, res.dst)
+        min_cap = min(l.capacity for l in route)
+        assert res.duration >= res.nbytes / min_cap * (1 - 1e-6)
+
+
+@given(_scenario())
+@settings(max_examples=40, deadline=None)
+def test_no_link_oversubscribed_during_run(scenario):
+    edges, caps, xfers = scenario
+    env = Environment()
+    fab = Fabric(env)
+    for (a, b), c in zip(edges, caps):
+        fab.add_link(a, b, capacity=c)
+    violations = []
+
+    def monitor():
+        while True:
+            yield env.timeout(1.0)
+            usage = {}
+            for f in fab.active_flows:
+                for l in f.links:
+                    usage[l.name] = usage.get(l.name, 0.0) + f.rate
+            for name, used in usage.items():
+                cap = fab.links[name].capacity
+                if used > cap * (1 + 1e-6):
+                    violations.append((env.now, name, used, cap))
+
+    def launch(src, dst, nbytes, start):
+        yield env.timeout(start)
+        yield fab.transfer(src, dst, nbytes)
+
+    for src, dst, nbytes, start in xfers:
+        env.process(launch(src, dst, nbytes, start))
+    env.process(monitor())
+    env.run(until=500.0)
+    assert violations == []
+
+
+@given(
+    nbytes=st.floats(1.0, 1e9),
+    cap=st.floats(1.0, 1e9),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_flow_exact_duration(nbytes, cap):
+    env = Environment()
+    fab = Fabric(env)
+    fab.add_link("a", "b", capacity=cap)
+    res = env.run(fab.transfer("a", "b", nbytes))
+    assert res.duration == pytest.approx(nbytes / cap, rel=1e-6)

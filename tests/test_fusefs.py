@@ -1,0 +1,148 @@
+"""Tests for the ArchiveFUSE chunking layer."""
+
+import pytest
+
+from repro.disksim import DiskArray
+from repro.fusefs import ArchiveFuseFS
+from repro.pfs import GpfsFileSystem, StoragePool
+from repro.sim import Environment, SimulationError
+
+GB = 1_000_000_000
+
+
+def make_stack(env, chunk=2 * GB):
+    fs = GpfsFileSystem(env, "arch", metadata_op_time=0.0)
+    arrays = [
+        DiskArray(env, f"a{i}", capacity_bytes=1e15, bandwidth=2e9, seek_time=0.0)
+        for i in range(2)
+    ]
+    fs.add_pool(StoragePool("fast", arrays), default=True)
+    return fs, ArchiveFuseFS(fs, chunk_size=chunk)
+
+
+def test_plan_chunks_layout():
+    env = Environment()
+    fs, fuse = make_stack(env, chunk=2 * GB)
+    refs = fuse.plan_chunks("/p/big", 5 * GB)
+    assert [r.length for r in refs] == [2 * GB, 2 * GB, 1 * GB]
+    assert [r.offset for r in refs] == [0, 2 * GB, 4 * GB]
+    assert refs[0].path.startswith("/.fuse/p/big/")
+
+
+def test_create_write_read_roundtrip():
+    env = Environment()
+    fs, fuse = make_stack(env)
+
+    def go():
+        refs = yield fuse.create_large("/p/big", 5 * GB)
+        assert len(refs) == 3
+        for i in range(3):
+            yield fuse.write_chunk("client", "/p/big", i)
+        assert fuse.is_complete("/p/big")
+        yield fuse.read_chunk("client", "/p/big", 1)
+
+    env.run(env.process(go()))
+    assert fuse.is_fuse_file("/p/big")
+    assert fuse.logical_size("/p/big") == 5 * GB
+    # chunk files are real files with real allocations
+    assert fs.pool("fast").used_bytes == 5 * GB
+
+
+def test_good_and_pending_chunks_restart_marks():
+    env = Environment()
+    fs, fuse = make_stack(env)
+
+    def go():
+        yield fuse.create_large("/p/big", 6 * GB)
+        yield fuse.write_chunk("c", "/p/big", 0)
+        yield fuse.write_chunk("c", "/p/big", 2)
+
+    env.run(env.process(go()))
+    assert fuse.good_chunks("/p/big") == [0, 2]
+    assert fuse.pending_chunks("/p/big") == [1]
+    assert not fuse.is_complete("/p/big")
+    fuse.mark_bad("/p/big", 0)
+    assert fuse.pending_chunks("/p/big") == [0, 1]
+
+
+def test_mark_bad_bounds():
+    env = Environment()
+    fs, fuse = make_stack(env)
+    env.run(fuse.create_large("/p/big", 2 * GB))
+    with pytest.raises(SimulationError):
+        fuse.mark_bad("/p/big", 5)
+
+
+def test_write_chunk_out_of_range():
+    env = Environment()
+    fs, fuse = make_stack(env)
+    env.run(fuse.create_large("/p/big", 2 * GB))
+    with pytest.raises(SimulationError):
+        env.run(fuse.write_chunk("c", "/p/big", 7))
+
+
+def test_non_fuse_file_rejected():
+    env = Environment()
+    fs, fuse = make_stack(env)
+    env.run(fs.write_file("c", "/plain", 100))
+    assert not fuse.is_fuse_file("/plain")
+    with pytest.raises(SimulationError):
+        fuse.chunks("/plain")
+
+
+def test_unlink_moves_chunks_to_trash():
+    env = Environment()
+    fs, fuse = make_stack(env)
+
+    def go():
+        yield fuse.create_large("/p/big", 4 * GB)
+        for i in range(2):
+            yield fuse.write_chunk("c", "/p/big", i)
+        trashed = yield fuse.unlink("/p/big")
+        return trashed
+
+    trashed = env.run(env.process(go()))
+    assert len(trashed) == 2
+    assert not fs.exists("/p/big")
+    for t in trashed:
+        assert t.startswith("/.trashcan/")
+        assert fs.exists(t)
+    # allocations still held by the trashed chunks (freed by sync delete)
+    assert fs.pool("fast").used_bytes == 4 * GB
+
+
+def test_overwrite_intercepts_old_chunks():
+    """§6.3: re-creating a logical file trashes the old chunks instead of
+    orphaning their tape copies."""
+    env = Environment()
+    fs, fuse = make_stack(env)
+
+    def go():
+        yield fuse.create_large("/p/big", 4 * GB)
+        yield fuse.write_chunk("c", "/p/big", 0)
+        yield fuse.write_chunk("c", "/p/big", 1)
+        yield fuse.create_large("/p/big", 6 * GB)  # overwrite
+
+    env.run(env.process(go()))
+    trash_entries = [
+        p for p, n in fs.walk("/.trashcan") if n.is_file
+    ]
+    assert len(trash_entries) == 2
+    assert fuse.logical_size("/p/big") == 6 * GB
+    assert fuse.pending_chunks("/p/big") == [0, 1, 2]
+
+
+def test_zero_byte_logical_file():
+    env = Environment()
+    fs, fuse = make_stack(env)
+    refs = env.run(fuse.create_large("/p/empty", 0))
+    assert refs == []
+    assert fuse.logical_size("/p/empty") == 0
+    assert fuse.is_complete("/p/empty")
+
+
+def test_invalid_chunk_size():
+    env = Environment()
+    fs, _ = make_stack(env)
+    with pytest.raises(SimulationError):
+        ArchiveFuseFS(fs, chunk_size=0)

@@ -1,0 +1,99 @@
+"""Tests for HSM pool-pressure punching and JobStats serialization."""
+
+import json
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pfs import HsmState
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+from repro.workloads import small_file_flood
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env):
+    return ParallelArchiveSystem(
+        env,
+        ArchiveParams(n_fta=4, n_disk_servers=2, n_tape_drives=4,
+                      n_scratch_tapes=16, tape_spec=SPEC),
+    )
+
+
+def test_punch_until_frees_to_target():
+    env = Environment()
+    system = small_site(env)
+    for arr in system.archive_fs.pool("fast").arrays:
+        arr.capacity_bytes = 500 * MB  # 1 GB pool
+    paths = small_file_flood(system.archive_fs, "/d", 8, 100 * MB)  # 80%
+    env.run(system.migrate_to_tape(punch=False))  # premigrate only
+    assert system.archive_fs.pool_occupancy("fast") == pytest.approx(0.8)
+
+    punched = system.hsm.punch_until("fast", target_occupancy=0.3)
+    assert system.archive_fs.pool_occupancy("fast") <= 0.3
+    assert 5 <= len(punched) <= 6
+    for p in punched:
+        assert system.archive_fs.lookup(p).hsm_state is HsmState.MIGRATED
+    # punching is instantaneous — no simulated time passed
+    survivors = [p for p in paths if p not in punched]
+    for p in survivors:
+        assert system.archive_fs.lookup(p).hsm_state is HsmState.PREMIGRATED
+
+
+def test_punch_until_lru_order():
+    env = Environment()
+    system = small_site(env)
+    for arr in system.archive_fs.pool("fast").arrays:
+        arr.capacity_bytes = 500 * MB
+    paths = small_file_flood(system.archive_fs, "/d", 4, 100 * MB)
+    env.run(system.migrate_to_tape(punch=False))
+    # touch one file so it is the most recently used
+    hot = paths[0]
+
+    def touch():
+        yield env.timeout(100.0)
+        yield system.archive_fs.read_file("fta0", hot)
+
+    env.run(env.process(touch()))
+    punched = system.hsm.punch_until("fast", target_occupancy=0.25)
+    assert hot not in punched  # LRU spares the hot file
+    # 40% -> 20% takes exactly two 100 MB punches
+    assert len(punched) == 2
+
+
+def test_punch_until_noop_when_under_target():
+    env = Environment()
+    system = small_site(env)
+    small_file_flood(system.archive_fs, "/d", 2, 1 * MB)
+    assert system.hsm.punch_until("fast", 0.9) == []
+
+
+def test_jobstats_to_dict_roundtrips_json():
+    env = Environment()
+    system = small_site(env)
+
+    def seed():
+        system.scratch_fs.mkdir("/d", parents=True)
+        for i in range(4):
+            yield system.scratch_fs.write_file("scratch", f"/d/f{i}", 5 * MB)
+
+    env.run(env.process(seed()))
+    cfg = PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0)
+    stats = env.run(system.archive("/d", "/a", cfg).done)
+    d = stats.to_dict()
+    encoded = json.dumps(d)
+    back = json.loads(encoded)
+    assert back["files_copied"] == 4
+    assert back["bytes_copied"] == 20 * MB
+    assert back["op"] == "copy"
+    assert back["data_rate"] == pytest.approx(stats.data_rate)
+    assert not back["aborted"]

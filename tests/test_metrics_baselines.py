@@ -1,0 +1,201 @@
+"""Tests for metrics helpers and the baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.baselines import GpfsNativeMigrator, SerialArchiver
+from repro.metrics import (
+    comparison_table,
+    describe,
+    geometric_mean,
+    log10_histogram,
+    render_series,
+)
+from repro.pfs import ListRule
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env, **over):
+    kw = dict(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+    )
+    kw.update(over)
+    return ParallelArchiveSystem(env, ArchiveParams(**kw))
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+def test_describe_basic():
+    d = describe([1, 2, 3, 4])
+    assert d["count"] == 4
+    assert d["min"] == 1
+    assert d["max"] == 4
+    assert d["mean"] == 2.5
+    assert d["median"] == 2.5
+
+
+def test_describe_empty():
+    d = describe([])
+    assert d["count"] == 0
+    assert d["mean"] == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        geometric_mean([0, 1])
+    assert geometric_mean([]) == 0.0
+
+
+def test_log10_histogram_counts_everything():
+    counts, edges = log10_histogram([1, 10, 100, 1000], bins=3)
+    assert counts.sum() == 4
+    with pytest.raises(ValueError):
+        log10_histogram([0, 1])
+
+
+def test_render_series_text():
+    text = render_series("Figure 8", [1, 10, 100], unit=" files", log10=True)
+    assert "Figure 8" in text
+    assert "min=1" in text
+    assert "log10" in text
+
+
+def test_comparison_table_ratio():
+    table = comparison_table([("rate MB/s", 575.0, 600.0)])
+    assert "rate MB/s" in table
+    assert "1.043" in table
+
+
+# ---------------------------------------------------------------------------
+# serial archiver baseline
+# ---------------------------------------------------------------------------
+
+def test_serial_archiver_single_stream_rate():
+    """Store-and-forward over one GigE NIC: ~62 MB/s, the paper's foil."""
+    env = Environment()
+    system = small_site(env)
+    mover = SerialArchiver.attach_mover(system)
+
+    def setup():
+        system.scratch_fs.mkdir("/d", parents=True)
+        for i in range(4):
+            yield system.scratch_fs.write_file("scratch", f"/d/f{i}", 500 * MB)
+
+    env.run(env.process(setup()))
+    serial = SerialArchiver(env, system.scratch_fs, system.archive_fs, mover)
+    res = env.run(serial.archive_tree("/d", "/a"))
+    assert res.files == 4
+    assert res.bytes == 4 * 500 * MB
+    # store-and-forward at 125 MB/s -> about 62 MB/s effective
+    assert 45 * MB < res.rate < 75 * MB
+    assert system.archive_fs.lookup("/a/f2").size == 500 * MB
+
+
+def test_serial_vs_parallel_order_of_magnitude():
+    """Figure 10's framing: 575 MB/s average vs ~70 MB/s serial."""
+    env = Environment()
+    system = small_site(env, n_fta=8)
+    from repro.pftool import PftoolConfig
+
+    def setup():
+        system.scratch_fs.mkdir("/d", parents=True)
+        for i in range(16):
+            yield system.scratch_fs.write_file("scratch", f"/d/f{i}", 500 * MB)
+
+    env.run(env.process(setup()))
+    job = system.archive(
+        "/d", "/a",
+        PftoolConfig(num_workers=16, num_readdir=1, num_tapeprocs=0),
+    )
+    stats = env.run(job.done)
+    parallel_rate = stats.data_rate
+
+    mover = SerialArchiver.attach_mover(system)
+    serial = SerialArchiver(env, system.scratch_fs, system.archive_fs, mover)
+    res = env.run(serial.archive_tree("/d", "/b"))
+    assert parallel_rate / res.rate > 5
+
+
+# ---------------------------------------------------------------------------
+# native migrator baseline
+# ---------------------------------------------------------------------------
+
+def _candidates(env, system, sizes):
+    def setup():
+        system.archive_fs.mkdir("/p", parents=True)
+        for i, s in enumerate(sizes):
+            yield system.archive_fs.write_file("fta0", f"/p/f{i}", s)
+
+    env.run(env.process(setup()))
+    res = env.run(
+        system.archive_fs.policy.apply(
+            [ListRule("c", "cand", lambda p, i, now: i.is_file and i.size > 0)]
+        )
+    )
+    return res.lists["cand"]
+
+
+def test_native_round_robin_is_size_oblivious():
+    env = Environment()
+    system = small_site(env)
+    hits = _candidates(env, system, [100 * MB] * 2 + [1 * MB] * 2)
+    buckets = GpfsNativeMigrator.partition_round_robin(
+        hits, ["n0", "n1"]
+    )
+    byte_loads = sorted(
+        sum(h.inode.size for h in b) for b in buckets.values()
+    )
+    # scan order alternates: one node gets both big files' worth? No —
+    # round robin in scan order: n0={f0,f2}, n1={f1,f3} -> 101MB each.
+    # Use an adversarial order instead:
+    hits_sorted = sorted(hits, key=lambda h: -h.inode.size)
+    interleaved = [hits_sorted[0], hits_sorted[2], hits_sorted[1], hits_sorted[3]]
+    buckets = GpfsNativeMigrator.partition_round_robin(interleaved, ["n0", "n1"])
+    byte_loads = sorted(sum(h.inode.size for h in b) for b in buckets.values())
+    assert byte_loads[1] / byte_loads[0] > 10  # grossly unbalanced
+
+
+def test_native_single_machine_mode_slower_than_balanced():
+    def run(balanced):
+        # files big enough that streaming dominates mount overhead —
+        # the regime where spreading across machines pays off
+        env = Environment()
+        system = small_site(env)
+        hits = _candidates(env, system, [6 * GB] * 12)
+        if balanced:
+            ev = system.migrator.migrate(hits)
+        else:
+            native = GpfsNativeMigrator(env, system.hsm, spread=False)
+            ev = native.migrate(hits)
+        report = env.run(ev)
+        return report.duration
+
+    t_native = run(False)
+    t_balanced = run(True)
+    assert t_balanced < t_native
+
+
+def test_native_migrator_still_migrates_everything():
+    env = Environment()
+    system = small_site(env)
+    hits = _candidates(env, system, [10 * MB] * 6)
+    native = GpfsNativeMigrator(env, system.hsm, spread=True)
+    report = env.run(native.migrate(hits))
+    assert report.files == 6
+    for h in hits:
+        assert system.archive_fs.lookup(h.path).is_stub

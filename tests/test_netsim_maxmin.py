@@ -1,0 +1,150 @@
+"""Unit + property tests for the max-min fair allocator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import max_min_fair_rates
+
+
+def test_single_flow_gets_link_capacity():
+    rates = max_min_fair_rates({"f": ["l"]}, {"l": 100.0})
+    assert rates["f"] == pytest.approx(100.0)
+
+
+def test_two_flows_share_equally():
+    rates = max_min_fair_rates({"a": ["l"], "b": ["l"]}, {"l": 100.0})
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(50.0)
+
+
+def test_classic_three_flow_parking_lot():
+    """Flow across both links gets 1/2 of the first bottleneck; locals mop up."""
+    rates = max_min_fair_rates(
+        {"long": ["l1", "l2"], "a": ["l1"], "b": ["l2"]},
+        {"l1": 10.0, "l2": 10.0},
+    )
+    assert rates["long"] == pytest.approx(5.0)
+    assert rates["a"] == pytest.approx(5.0)
+    assert rates["b"] == pytest.approx(5.0)
+
+
+def test_unequal_bottlenecks_give_leftover_to_unconstrained():
+    rates = max_min_fair_rates(
+        {"long": ["small", "big"], "local": ["big"]},
+        {"small": 4.0, "big": 20.0},
+    )
+    assert rates["long"] == pytest.approx(4.0)
+    assert rates["local"] == pytest.approx(16.0)
+
+
+def test_rate_cap_constrains_flow():
+    rates = max_min_fair_rates(
+        {"a": ["l"], "b": ["l"]},
+        {"l": 300.0},
+        rate_cap={"a": 50.0},
+    )
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(250.0)
+
+
+def test_weights_split_proportionally():
+    rates = max_min_fair_rates(
+        {"heavy": ["l"], "light": ["l"]},
+        {"l": 90.0},
+        flow_weight={"heavy": 2.0, "light": 1.0},
+    )
+    assert rates["heavy"] == pytest.approx(60.0)
+    assert rates["light"] == pytest.approx(30.0)
+
+
+def test_flow_with_no_links_and_no_cap_is_unbounded():
+    rates = max_min_fair_rates({"free": []}, {})
+    assert rates["free"] == float("inf")
+
+
+def test_flow_with_only_rate_cap():
+    rates = max_min_fair_rates({"f": []}, {}, rate_cap={"f": 42.0})
+    assert rates["f"] == pytest.approx(42.0)
+
+
+def test_unknown_link_raises():
+    with pytest.raises(KeyError):
+        max_min_fair_rates({"f": ["ghost"]}, {})
+
+
+def test_empty_input():
+    assert max_min_fair_rates({}, {}) == {}
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _scenarios(draw):
+    n_links = draw(st.integers(1, 6))
+    links = {f"l{i}": draw(st.floats(1.0, 1e4)) for i in range(n_links)}
+    n_flows = draw(st.integers(1, 10))
+    flows = {}
+    for j in range(n_flows):
+        k = draw(st.integers(1, n_links))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(sorted(links)), min_size=k, max_size=k, unique=True
+            )
+        )
+        flows[f"f{j}"] = chosen
+    return flows, links
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_no_link_oversubscribed(scenario):
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    usage = {lk: 0.0 for lk in links}
+    for fid, route in flows.items():
+        for lk in route:
+            usage[lk] += rates[fid]
+    for lk, used in usage.items():
+        assert used <= links[lk] * (1 + 1e-6), f"{lk} oversubscribed: {used} > {links[lk]}"
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_every_flow_is_bottlenecked(scenario):
+    """Max-min property: each flow crosses at least one saturated link."""
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    usage = {lk: 0.0 for lk in links}
+    for fid, route in flows.items():
+        for lk in route:
+            usage[lk] += rates[fid]
+    for fid, route in flows.items():
+        assert any(
+            usage[lk] >= links[lk] * (1 - 1e-6) for lk in route
+        ), f"flow {fid} is not bottlenecked anywhere"
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_rates_positive_and_finite(scenario):
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    for fid in flows:
+        assert rates[fid] > 0
+        assert math.isfinite(rates[fid])
+
+
+@given(_scenarios(), st.floats(0.1, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_allocation_scales_with_capacity(scenario, factor):
+    """Scaling all capacities by k scales all rates by k (homogeneity)."""
+    flows, links = scenario
+    base = max_min_fair_rates(flows, links)
+    scaled = max_min_fair_rates(flows, {k: v * factor for k, v in links.items()})
+    for fid in flows:
+        assert scaled[fid] == pytest.approx(base[fid] * factor, rel=1e-6)

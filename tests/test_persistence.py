@@ -1,0 +1,86 @@
+"""Tests for trace / job-record persistence."""
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    generate_open_science_trace,
+    load_job_records,
+    load_trace,
+    save_job_records,
+    save_trace,
+)
+
+
+def test_trace_roundtrip(tmp_path):
+    trace = generate_open_science_trace(seed=2009)
+    p = save_trace(trace, tmp_path / "trace.json")
+    back = load_trace(p)
+    assert back.seed == trace.seed
+    assert [(j.job_id, j.n_files, j.total_bytes) for j in back.jobs] == [
+        (j.job_id, j.n_files, j.total_bytes) for j in trace.jobs
+    ]
+    assert back.summary() == trace.summary()
+
+
+def test_trace_format_guard(tmp_path):
+    p = tmp_path / "bogus.json"
+    p.write_text(json.dumps({"format": "something-else", "jobs": []}))
+    with pytest.raises(ValueError, match="not an open-science trace"):
+        load_trace(p)
+
+
+def test_job_records_roundtrip(tmp_path):
+    records = [
+        {"op": "copy", "files_copied": 10, "bytes_copied": 123456,
+         "data_rate": 1e8, "aborted": False},
+        {"op": "copy", "files_copied": 3, "bytes_copied": 999,
+         "data_rate": 5e7, "aborted": True},
+    ]
+    p = save_job_records(records, tmp_path / "day1.jsonl")
+    back = load_job_records(p)
+    assert back == records
+
+
+def test_job_records_format_guard(tmp_path):
+    p = tmp_path / "bad.jsonl"
+    p.write_text('{"format": "nope"}\n{}\n')
+    with pytest.raises(ValueError, match="not a job-records"):
+        load_job_records(p)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_job_records(empty)
+
+
+def test_records_from_real_job(tmp_path):
+    """JobStats.to_dict output persists and reloads faithfully."""
+    from repro.archive import ArchiveParams, ParallelArchiveSystem
+    from repro.pftool import PftoolConfig
+    from repro.sim import Environment
+    from repro.tapesim import TapeSpec
+
+    env = Environment()
+    system = ParallelArchiveSystem(
+        env,
+        ArchiveParams(n_fta=2, n_disk_servers=2, n_tape_drives=1,
+                      n_scratch_tapes=4,
+                      tape_spec=TapeSpec(load_time=5, unload_time=5)),
+    )
+
+    def seed():
+        system.scratch_fs.mkdir("/d", parents=True)
+        yield system.scratch_fs.write_file("scratch", "/d/f", 10_000_000)
+
+    env.run(env.process(seed()))
+    stats = env.run(
+        system.archive(
+            "/d", "/a",
+            PftoolConfig(num_workers=1, num_readdir=1, num_tapeprocs=0),
+        ).done
+    )
+    p = save_job_records([stats.to_dict()], tmp_path / "ops.jsonl")
+    back = load_job_records(p)
+    assert back[0]["files_copied"] == 1
+    assert back[0]["bytes_copied"] == 10_000_000

@@ -1,0 +1,79 @@
+"""Tests for pfdu — the tape-safe parallel disk-usage rollup."""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def build(env):
+    return ParallelArchiveSystem(
+        env,
+        ArchiveParams(n_fta=4, n_disk_servers=2, n_tape_drives=2,
+                      n_scratch_tapes=8, tape_spec=SPEC),
+    )
+
+
+def seed(env, system):
+    def go():
+        for proj, sizes in (("alpha", [10, 20]), ("beta", [5, 5, 5])):
+            system.archive_fs.mkdir(f"/arc/{proj}", parents=True)
+            for i, mb in enumerate(sizes):
+                yield system.archive_fs.write_file(
+                    "fta0", f"/arc/{proj}/f{i}", mb * MB
+                )
+
+    env.run(env.process(go()))
+
+
+def cfg():
+    return PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0)
+
+
+def test_pfdu_rolls_up_per_subtree():
+    env = Environment()
+    system = build(env)
+    seed(env, system)
+    job = system.du("/arc", cfg())
+    stats = env.run(job.done)
+    assert stats.files_seen == 5
+    assert stats.bytes_copied == 0  # du moves no data
+    du_lines = [l for l in stats.output_lines if "\t" in l and "/arc/" in l]
+    parsed = {}
+    for line in du_lines:
+        nbytes, files, key = line.split("\t")
+        parsed[key] = (int(files), int(nbytes))
+    assert parsed["/arc/alpha"] == (2, 30 * MB)
+    assert parsed["/arc/beta"] == (3, 15 * MB)
+
+
+def test_pfdu_does_not_recall_migrated_files():
+    """The whole point: du on a migrated tree touches zero tape."""
+    env = Environment()
+    system = build(env)
+    seed(env, system)
+    env.run(system.migrate_to_tape())
+    mounts_before = system.library.total_mounts
+    stats = env.run(system.du("/arc", cfg()).done)
+    assert stats.files_seen == 5
+    assert system.library.total_mounts == mounts_before
+    assert system.tsm.bytes_retrieved == 0
+
+
+def test_pfdu_in_jail():
+    env = Environment()
+    system = build(env)
+    system.jail.check("pfdu /arc")  # allowed
+    with pytest.raises(PermissionError):
+        system.jail.check("du -s /arc")  # raw du is not shipped

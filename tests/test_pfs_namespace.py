@@ -1,0 +1,145 @@
+"""Tests for the namespace tree and inode bookkeeping."""
+
+import pytest
+
+from repro.pfs import Namespace, PathError
+from repro.pfs.inode import FileKind, HsmState, Inode
+
+
+def test_mkdir_create_lookup():
+    ns = Namespace()
+    ns.mkdir("/a", 0.0)
+    ns.mkdir("/a/b", 0.0)
+    f = ns.create("/a/b/file.dat", 1.0)
+    assert ns.lookup("/a/b/file.dat") is f
+    assert ns.lookup("/a").is_dir
+    assert ns.n_files == 1
+    assert ns.n_dirs == 3  # root, a, b
+
+
+def test_mkdir_parents():
+    ns = Namespace()
+    ns.mkdir("/x/y/z", 0.0, parents=True)
+    assert ns.lookup("/x/y/z").is_dir
+    # idempotent on existing components
+    ns.mkdir("/x/y/z/w", 0.0, parents=True)
+    assert ns.lookup("/x/y/z/w").is_dir
+
+
+def test_create_missing_parent_fails():
+    ns = Namespace()
+    with pytest.raises(PathError):
+        ns.create("/no/such/dir/file", 0.0)
+
+
+def test_duplicate_create_fails():
+    ns = Namespace()
+    ns.create("/f", 0.0)
+    with pytest.raises(PathError):
+        ns.create("/f", 0.0)
+
+
+def test_unlink_file_and_counts():
+    ns = Namespace()
+    ns.create("/f", 0.0)
+    ns.unlink("/f")
+    assert not ns.exists("/f")
+    assert ns.n_files == 0
+
+
+def test_unlink_nonempty_dir_fails():
+    ns = Namespace()
+    ns.mkdir("/d", 0.0)
+    ns.create("/d/f", 0.0)
+    with pytest.raises(PathError):
+        ns.unlink("/d")
+    ns.unlink("/d/f")
+    ns.unlink("/d")
+    assert ns.n_dirs == 1
+
+
+def test_rename_moves_subtree_and_reindexes():
+    ns = Namespace()
+    ns.mkdir("/a/b", 0.0, parents=True)
+    f = ns.create("/a/b/f", 0.0)
+    ns.mkdir("/new", 0.0)
+    ns.rename("/a/b", "/new/b2")
+    assert ns.lookup("/new/b2/f") is f
+    assert not ns.exists("/a/b")
+    assert ns.path_of(f.ino) == "/new/b2/f"
+
+
+def test_rename_refuses_clobber():
+    ns = Namespace()
+    ns.create("/a", 0.0)
+    ns.create("/b", 0.0)
+    with pytest.raises(PathError):
+        ns.rename("/a", "/b")
+
+
+def test_readdir_sorted():
+    ns = Namespace()
+    ns.mkdir("/d", 0.0)
+    for name in ("zeta", "alpha", "mid"):
+        ns.create(f"/d/{name}", 0.0)
+    assert [n for n, _ in ns.readdir("/d")] == ["alpha", "mid", "zeta"]
+
+
+def test_walk_visits_everything():
+    ns = Namespace()
+    ns.mkdir("/p/q", 0.0, parents=True)
+    ns.create("/p/f1", 0.0)
+    ns.create("/p/q/f2", 0.0)
+    paths = {p for p, _ in ns.walk("/")}
+    assert {"/", "/p", "/p/q", "/p/f1", "/p/q/f2"} == paths
+
+
+def test_walk_subtree_only():
+    ns = Namespace()
+    ns.mkdir("/p/q", 0.0, parents=True)
+    ns.create("/p/q/f", 0.0)
+    ns.create("/other", 0.0)
+    paths = {p for p, _ in ns.walk("/p")}
+    assert "/other" not in paths
+    assert "/p/q/f" in paths
+
+
+def test_iter_inodes_in_ino_order():
+    ns = Namespace()
+    ns.create("/b", 0.0)
+    ns.create("/a", 0.0)
+    inos = [n.ino for _, n in ns.iter_inodes()]
+    assert inos == sorted(inos)
+
+
+def test_by_ino_and_path_of():
+    ns = Namespace()
+    f = ns.create("/deep", 0.0)
+    assert ns.by_ino(f.ino) is f
+    assert ns.path_of(f.ino) == "/deep"
+    ns.unlink("/deep")
+    with pytest.raises(PathError):
+        ns.by_ino(f.ino)
+
+
+def test_dotdot_rejected():
+    ns = Namespace()
+    with pytest.raises(PathError):
+        ns.lookup("/a/../b")
+
+
+def test_inode_touch_data_resets_hsm_state():
+    ino = Inode(FileKind.FILE, 0.0)
+    ino.hsm_state = HsmState.MIGRATED
+    ino.touch_data(5.0, 100, token=7)
+    assert ino.hsm_state is HsmState.RESIDENT
+    assert ino.size == 100
+    assert ino.content_token == 7
+
+
+def test_stub_resident_bytes_zero():
+    ino = Inode(FileKind.FILE, 0.0)
+    ino.size = 1000
+    assert ino.resident_bytes == 1000
+    ino.hsm_state = HsmState.MIGRATED
+    assert ino.resident_bytes == 0

@@ -1,0 +1,80 @@
+"""Tests + properties for the stripe layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import StripeLayout
+
+
+def test_single_array_gets_everything():
+    lay = StripeLayout(1, block_size=100)
+    sl = lay.slices(ino=7, offset=0, nbytes=1000)
+    assert len(sl) == 1
+    assert sl[0].nbytes == 1000
+
+
+def test_even_spread_across_arrays():
+    lay = StripeLayout(4, block_size=100)
+    sl = lay.slices(ino=0, offset=0, nbytes=400)
+    assert sorted(s.nbytes for s in sl) == [100, 100, 100, 100]
+
+
+def test_ino_offsets_starting_array():
+    lay = StripeLayout(4, block_size=100)
+    sl0 = lay.slices(ino=0, offset=0, nbytes=100)
+    sl1 = lay.slices(ino=1, offset=0, nbytes=100)
+    assert sl0[0].array_index != sl1[0].array_index
+
+
+def test_partial_first_block():
+    lay = StripeLayout(2, block_size=100)
+    sl = lay.slices(ino=0, offset=50, nbytes=100)
+    # 50 bytes complete block 0, 50 bytes start block 1
+    by_idx = {s.array_index: s.nbytes for s in sl}
+    assert by_idx == {0: 50, 1: 50}
+
+
+def test_small_file_single_slice():
+    lay = StripeLayout(8, block_size=4 << 20)
+    sl = lay.slices(ino=3, offset=0, nbytes=1000)
+    assert len(sl) == 1
+    assert sl[0].nbytes == 1000
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        StripeLayout(0)
+    lay = StripeLayout(2)
+    with pytest.raises(ValueError):
+        lay.slices(1, -1, 10)
+
+
+@given(
+    n_arrays=st.integers(1, 16),
+    block=st.integers(1, 1 << 20),
+    ino=st.integers(0, 10_000),
+    offset=st.integers(0, 1 << 22),
+    nbytes=st.integers(0, 1 << 24),
+)
+@settings(max_examples=200, deadline=None)
+def test_slices_conserve_bytes(n_arrays, block, ino, offset, nbytes):
+    lay = StripeLayout(n_arrays, block)
+    sl = lay.slices(ino, offset, nbytes)
+    assert sum(s.nbytes for s in sl) == nbytes
+    assert all(0 <= s.array_index < n_arrays for s in sl)
+    assert len({s.array_index for s in sl}) == len(sl)  # one slice per array
+
+
+@given(
+    n_arrays=st.integers(2, 8),
+    nblocks=st.integers(1, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_aligned_balance(n_arrays, nblocks):
+    """Full-block writes differ by at most one block between arrays."""
+    block = 1024
+    lay = StripeLayout(n_arrays, block)
+    sl = lay.slices(0, 0, nblocks * block)
+    counts = [s.nbytes // block for s in sl]
+    assert max(counts) - min(counts) <= 1

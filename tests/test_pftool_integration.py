@@ -1,0 +1,263 @@
+"""End-to-end PFTool tests against the full archive system."""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env, **over):
+    kw = dict(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+    )
+    kw.update(over)
+    return ParallelArchiveSystem(env, ArchiveParams(**kw))
+
+
+def seed_scratch(env, system, layout):
+    """layout: {path: nbytes} created on the scratch FS."""
+
+    def go():
+        for path, size in layout.items():
+            parent = path.rsplit("/", 1)[0] or "/"
+            system.scratch_fs.mkdir(parent, parents=True)
+            yield system.scratch_fs.write_file("scratch", path, size)
+
+    env.run(env.process(go()))
+
+
+def cfg_small(**over):
+    kw = dict(num_workers=4, num_readdir=1, num_tapeprocs=2, stat_batch=8,
+              copy_batch=4, watchdog_interval=30.0)
+    kw.update(over)
+    return PftoolConfig(**kw)
+
+
+def test_pfcp_archives_a_tree():
+    env = Environment()
+    system = small_site(env)
+    layout = {f"/campaign/run{i}/out.dat": 50 * MB for i in range(6)}
+    layout["/campaign/notes.txt"] = 1000
+    seed_scratch(env, system, layout)
+
+    job = system.archive("/campaign", "/archive/campaign", cfg_small())
+    stats = env.run(job.done)
+    assert stats.files_copied == 7
+    assert stats.bytes_copied == 6 * 50 * MB + 1000
+    assert not stats.aborted
+    # the tree exists on the archive side
+    for i in range(6):
+        inode = system.archive_fs.lookup(f"/archive/campaign/run{i}/out.dat")
+        assert inode.size == 50 * MB
+    # content tokens propagated
+    src = system.scratch_fs.lookup("/campaign/notes.txt")
+    dst = system.archive_fs.lookup("/archive/campaign/notes.txt")
+    assert src.content_token == dst.content_token
+
+
+def test_pfcp_small_files_placed_on_slow_pool():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/d/tiny": 1000, "/d/big.dat": 50 * MB})
+    job = system.archive("/d", "/a", cfg_small())
+    env.run(job.done)
+    assert system.archive_fs.lookup("/a/tiny").pool == "slow"
+    assert system.archive_fs.lookup("/a/big.dat").pool == "fast"
+
+
+def test_pfcp_single_large_file_nto1_chunks():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/big/one.dat": 20 * GB})
+    cfg = cfg_small(chunk_threshold=4 * GB, copy_chunk_size=2 * GB)
+    job = system.archive("/big", "/a", cfg)
+    stats = env.run(job.done)
+    assert stats.files_copied == 1
+    assert stats.chunks_copied == 10  # 20GB / 2GB
+    assert system.archive_fs.lookup("/a/one.dat").size == 20 * GB
+
+
+def test_nto1_parallelism_speeds_up_large_copy():
+    def run(workers):
+        env = Environment()
+        system = small_site(env)
+        seed_scratch(env, system, {"/big/one.dat": 20 * GB})
+        cfg = cfg_small(
+            num_workers=workers, chunk_threshold=2 * GB, copy_chunk_size=1 * GB
+        )
+        job = system.archive("/big", "/a", cfg)
+        stats = env.run(job.done)
+        return stats.duration
+
+    t1 = run(1)
+    t8 = run(8)
+    assert t8 < t1 / 2  # parallel chunks cut wall-clock substantially
+
+
+def test_pfcp_fuse_very_large_file():
+    env = Environment()
+    system = small_site(env)
+    system.fuse.chunk_size = 2 * GB
+    seed_scratch(env, system, {"/huge/sim.h5": 10 * GB})
+    cfg = cfg_small(fuse_threshold=8 * GB, chunk_threshold=4 * GB)
+    job = system.archive("/huge", "/a", cfg)
+    stats = env.run(job.done)
+    assert stats.fuse_files == 1
+    assert stats.files_copied == 1
+    assert system.fuse.is_fuse_file("/a/sim.h5")
+    assert system.fuse.logical_size("/a/sim.h5") == 10 * GB
+    assert system.fuse.is_complete("/a/sim.h5")
+    # chunk files are real archive files
+    refs = system.fuse.chunks("/a/sim.h5")
+    assert len(refs) == 5
+
+
+def test_pfls_lists_archive():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/d/a": 100, "/d/b": 200})
+    env.run(system.archive("/d", "/a", cfg_small()).done)
+    job = system.list_archive("/a", cfg_small())
+    stats = env.run(job.done)
+    assert stats.files_seen == 2
+    listing = [l for l in stats.output_lines if l.startswith("/a/")]
+    assert len(listing) == 2
+
+
+def test_pfcm_compare_clean_and_corrupted():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/d/a": 5 * MB, "/d/b": 5 * MB})
+    env.run(system.archive("/d", "/a", cfg_small()).done)
+    stats = env.run(system.compare("/d", "/a", cfg_small()).done)
+    assert stats.files_compared == 2
+    assert stats.compare_mismatches == 0
+    # corrupt one destination
+    system.archive_fs.set_token("/a/b", 0xBAD)
+    stats = env.run(system.compare("/d", "/a", cfg_small()).done)
+    assert stats.compare_mismatches == 1
+
+
+def test_restore_from_tape_roundtrip():
+    env = Environment()
+    system = small_site(env)
+    layout = {f"/d/f{i}": 20 * MB for i in range(8)}
+    seed_scratch(env, system, layout)
+    env.run(system.archive("/d", "/a", cfg_small()).done)
+    report = env.run(system.migrate_to_tape())
+    assert report.files == 8
+    for i in range(8):
+        assert system.archive_fs.lookup(f"/a/f{i}").is_stub
+    # retrieve back to scratch
+    job = system.retrieve("/a", "/restored", cfg_small())
+    stats = env.run(job.done)
+    assert stats.tape_files_restored == 8
+    assert stats.files_copied == 8
+    for i in range(8):
+        node = system.scratch_fs.lookup(f"/restored/f{i}")
+        assert node.size == 20 * MB
+        assert (
+            node.content_token
+            == system.scratch_fs.lookup(f"/d/f{i}").content_token
+        )
+
+
+def test_restore_mixed_resident_and_migrated():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/d/hot": 10 * MB, "/d/cold": 10 * MB})
+    env.run(system.archive("/d", "/a", cfg_small()).done)
+    env.run(
+        system.migrate_to_tape(where=lambda p, i, now: p.endswith("cold"))
+    )
+    job = system.retrieve("/a", "/back", cfg_small())
+    stats = env.run(job.done)
+    assert stats.files_copied == 2
+    assert stats.tape_files_restored == 1
+    assert system.scratch_fs.lookup("/back/hot").size == 10 * MB
+    assert system.scratch_fs.lookup("/back/cold").size == 10 * MB
+
+
+def test_restart_skips_current_destinations():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/d/a": 5 * MB, "/d/b": 5 * MB})
+    env.run(system.archive("/d", "/a", cfg_small()).done)
+    # re-run with restart: everything is already current
+    cfg = cfg_small(restart=True)
+    stats = env.run(system.archive("/d", "/a", cfg).done)
+    assert stats.files_skipped == 2
+    assert stats.files_copied == 0
+    assert stats.bytes_copied == 0
+
+
+def test_restart_after_cancel_resumes_chunks():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/big/one.dat": 20 * GB})
+    cfg = cfg_small(num_workers=2, chunk_threshold=2 * GB, copy_chunk_size=1 * GB)
+    job = system.archive("/big", "/a", cfg)
+
+    def canceller():
+        yield env.timeout(10.0)  # partway through the copy
+        job.cancel("simulated outage")
+
+    env.process(canceller())
+    stats1 = env.run(job.done)
+    assert stats1.aborted
+    done_before = stats1.chunks_copied
+    assert 0 < done_before < 20
+
+    cfg2 = cfg_small(
+        num_workers=8, chunk_threshold=2 * GB, copy_chunk_size=1 * GB, restart=True
+    )
+    job2 = system.archive("/big", "/a", cfg2)
+    stats2 = env.run(job2.done)
+    assert not stats2.aborted
+    assert stats2.files_copied == 1
+    # the second pass did not resend the chunks the first pass completed
+    assert stats2.bytes_skipped >= done_before * 1 * GB - 1
+
+
+def test_watchdog_samples_progress():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {f"/d/f{i}": 200 * MB for i in range(8)})
+    cfg = cfg_small(watchdog_interval=1.0)
+    job = system.archive("/d", "/a", cfg)
+    stats = env.run(job.done)
+    assert len(stats.watchdog_history) >= 1
+    assert stats.watchdog_history[-1].bytes_total <= stats.bytes_copied
+
+
+def test_empty_directory_archive():
+    env = Environment()
+    system = small_site(env)
+    system.scratch_fs.mkdir("/empty", parents=True)
+    job = system.archive("/empty", "/a", cfg_small())
+    stats = env.run(job.done)
+    assert stats.files_copied == 0
+    assert stats.dirs_walked == 1
+    assert system.archive_fs.exists("/a")
+
+
+def test_single_file_source():
+    env = Environment()
+    system = small_site(env)
+    seed_scratch(env, system, {"/solo.dat": 3 * MB})
+    job = system.archive("/solo.dat", "/a", cfg_small())
+    stats = env.run(job.done)
+    assert stats.files_copied == 1
+    assert system.archive_fs.lookup("/a/solo.dat").size == 3 * MB

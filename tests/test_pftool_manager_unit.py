@@ -1,0 +1,165 @@
+"""Unit tests for Manager planning logic (no full job run needed)."""
+
+import pytest
+
+from repro.disksim import DiskArray
+from repro.mpisim import SimComm
+from repro.pfs import GpfsFileSystem, PathError, StoragePool
+from repro.pftool import PftoolConfig, RuntimeContext
+from repro.pftool.manager import Manager
+from repro.pftool.messages import CopyJob, FileSpec
+from repro.pftool.stats import JobStats
+from repro.sim import Environment
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+
+def make_manager(env, cfg=None, src_root="/src", dst_root="/dst"):
+    def fs(name):
+        f = GpfsFileSystem(env, name, metadata_op_time=0.0)
+        arr = DiskArray(env, f"{name}-a", capacity_bytes=1e15, bandwidth=1e9,
+                        seek_time=0.0)
+        f.add_pool(StoragePool("p", [arr]), default=True)
+        return f
+
+    src, dst = fs("src"), fs("dst")
+    src.mkdir("/src", parents=True)
+    ctx = RuntimeContext(src_fs=src, dst_fs=dst, nodes=["n0", "n1"])
+    cfg = cfg or PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0)
+    comm = SimComm(env, cfg.total_ranks)
+    stats = JobStats()
+    return Manager(env, comm, cfg, ctx, "copy", src_root, dst_root, stats,
+                   env.event())
+
+
+def test_map_dst_basic():
+    env = Environment()
+    m = make_manager(env)
+    assert m.map_dst("/src/a/b.dat") == "/dst/a/b.dat"
+    assert m.map_dst("/src") == "/dst/src"  # root maps to dst/basename
+
+
+def test_map_dst_escape_rejected():
+    env = Environment()
+    m = make_manager(env)
+    with pytest.raises(PathError):
+        m.map_dst("/elsewhere/file")
+
+
+def test_plan_small_files_batch():
+    env = Environment()
+    cfg = PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0,
+                       copy_batch=3)
+    m = make_manager(env, cfg)
+    for i in range(7):
+        m._plan_copy(FileSpec(f"/src/f{i}", 100, False, None, 0.0))
+    # 7 files at batch 3 -> two full batches queued, one pending
+    assert len(m.copy_q) == 2
+    assert len(m.pending_small) == 1
+    m._flush_small()
+    assert len(m.copy_q) == 3
+
+
+def test_plan_chunked_large_file():
+    env = Environment()
+    cfg = PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0,
+                       chunk_threshold=4 * GB, copy_chunk_size=2 * GB)
+    m = make_manager(env, cfg)
+    m._plan_copy(FileSpec("/src/big", 10 * GB, False, None, 0.0))
+    # first chunk queued with create; rest wait
+    assert len(m.copy_q) == 1
+    first = m.copy_q[0]
+    assert isinstance(first, CopyJob)
+    assert first.create
+    assert first.length == 2 * GB
+    assert len(m.waiting_chunks["/dst/big"]) == 4
+
+
+def test_plan_migrated_file_buffers_for_tape():
+    env = Environment()
+    m = make_manager(env)
+    m._plan_copy(FileSpec("/src/cold", 1 * MB, True, 42, 0.0))
+    assert m.tape_buffer == [("/src/cold", 42, 1 * MB, "/dst/cold")]
+    assert len(m.copy_q) == 0
+
+
+def test_stat_phase_done_and_complete_transitions():
+    env = Environment()
+    m = make_manager(env)
+    assert m._stat_phase_done()
+    assert m._complete()
+    m._plan_copy(FileSpec("/src/f", 100, False, None, 0.0))
+    assert not m._complete()  # pending_small holds work
+    m._flush_small()
+    assert not m._complete()  # copy_q holds work
+    m.copy_q.clear()
+    assert m._complete()
+
+
+def test_restart_skips_current_destination():
+    env = Environment()
+    cfg = PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0,
+                       restart=True)
+    m = make_manager(env, cfg)
+    # destination exists, same size, newer mtime
+    m.ctx.dst_fs.mkdir("/dst", parents=True)
+    env.run(m.ctx.dst_fs.write_file("n0", "/dst/done", 500))
+    m._plan_copy(FileSpec("/src/done", 500, False, None, mtime=-1.0))
+    assert m.stats.files_skipped == 1
+    assert len(m.copy_q) == 0
+    # size mismatch -> recopied
+    m._plan_copy(FileSpec("/src/done", 999, False, None, mtime=-1.0))
+    m._flush_small()
+    assert len(m.copy_q) == 1
+
+
+def test_tape_info_orders_by_volume_and_seq():
+    env = Environment()
+    m = make_manager(env)
+    from repro.tapedb import TapeLocation
+
+    entries = [
+        ("/src/a", 1, 10, "/dst/a"),
+        ("/src/b", 2, 10, "/dst/b"),
+        ("/src/c", 3, 10, "/dst/c"),
+    ]
+    locs = {
+        "/src/a": TapeLocation(1, "/src/a", "fs", "V2", 5, 10),
+        "/src/b": TapeLocation(2, "/src/b", "fs", "V1", 9, 10),
+        "/src/c": TapeLocation(3, "/src/c", "fs", "V2", 1, 10),
+    }
+    m.pending_lookups = 1
+    m._on_tape_info((entries, locs))
+    assert [j.volume for j in m.tape_q] == ["V1", "V2"]
+    v2 = [j for j in m.tape_q if j.volume == "V2"][0]
+    assert [e[2] for e in v2.entries] == [1, 5]  # ascending seq
+    assert m.stats.tape_volumes_touched == 2
+
+
+def test_tape_info_unordered_mode_keeps_arrival_order():
+    env = Environment()
+    cfg = PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0,
+                       tape_ordering=False)
+    m = make_manager(env, cfg)
+    from repro.tapedb import TapeLocation
+
+    entries = [("/src/a", 1, 10, "/dst/a"), ("/src/c", 3, 10, "/dst/c")]
+    locs = {
+        "/src/a": TapeLocation(1, "/src/a", "fs", "V2", 5, 10),
+        "/src/c": TapeLocation(3, "/src/c", "fs", "V2", 1, 10),
+    }
+    m.pending_lookups = 1
+    m._on_tape_info((entries, locs))
+    v2 = m.tape_q[0]
+    assert [e[2] for e in v2.entries] == [5, 1]  # arrival order preserved
+
+
+def test_tape_info_missing_location_counts_failure():
+    env = Environment()
+    m = make_manager(env)
+    m.pending_lookups = 1
+    m.ctx = m.ctx  # no tsm fallback configured
+    m._on_tape_info(([("/src/ghost", 9, 10, "/dst/ghost")], {"/src/ghost": None}))
+    assert m.stats.files_failed == 1
+    assert len(m.tape_q) == 0

@@ -1,0 +1,186 @@
+"""Tests for policy-text-driven operation and dynamic link degradation."""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.netsim import Fabric
+from repro.pfs import HsmState
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env):
+    return ParallelArchiveSystem(
+        env,
+        ArchiveParams(
+            n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+            tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+        ),
+    )
+
+
+def seed_archive(env, system, layout):
+    def go():
+        for path, (size, uid) in layout.items():
+            parent = path.rsplit("/", 1)[0] or "/"
+            system.archive_fs.mkdir(parent, parents=True)
+            yield system.archive_fs.write_file("fta0", path, size, uid=uid)
+
+    env.run(env.process(go()))
+
+
+# ---------------------------------------------------------------------------
+# mmapplypolicy workflow
+# ---------------------------------------------------------------------------
+
+def test_policy_text_list_rule():
+    env = Environment()
+    system = small_site(env)
+    seed_archive(env, system, {
+        "/p/a.dat": (50 * MB, "alice"),
+        "/p/b.txt": (1000, "alice"),
+    })
+    result, reports = env.run(system.apply_policy_text(
+        "RULE 'cand' LIST 'big' WHERE FILE_SIZE > 1 MB"
+    ))
+    assert [h.path for h in result.lists["big"]] == ["/p/a.dat"]
+    assert reports == []
+
+
+def test_policy_text_migrates_to_external_pool():
+    env = Environment()
+    system = small_site(env)
+    seed_archive(env, system, {
+        "/p/old.dat": (50 * MB, "alice"),
+        "/p/new.dat": (50 * MB, "alice"),
+    })
+    # age the first file: bump mtimes apart
+    system.archive_fs.lookup("/p/old.dat").mtime = env.now - 90 * 86400
+
+    result, reports = env.run(system.apply_policy_text(
+        "RULE 'age-out' MIGRATE FROM POOL 'fast' TO POOL 'hsm' "
+        "WHERE MODIFICATION_AGE > 30 DAYS"
+    ))
+    assert len(reports) == 1
+    assert reports[0].files == 1
+    assert system.archive_fs.lookup("/p/old.dat").hsm_state is HsmState.MIGRATED
+    assert system.archive_fs.lookup("/p/new.dat").hsm_state is HsmState.RESIDENT
+    # tape index refreshed
+    oid = system.archive_fs.lookup("/p/old.dat").tsm_object_id
+    assert system.tapedb.location_of(oid) is not None
+
+
+def test_policy_text_installs_placement_rules():
+    env = Environment()
+    system = small_site(env)
+    env.run(system.apply_policy_text(
+        "RULE 'tmp-to-slow' SET POOL 'slow' WHERE NAME LIKE '%.tmp'"
+    ))
+    seed_archive(env, system, {"/p/x.tmp": (10 * MB, "bob")})
+    assert system.archive_fs.lookup("/p/x.tmp").pool == "slow"
+
+
+def test_policy_text_threshold_migration():
+    env = Environment()
+    system = small_site(env)
+    # shrink the fast pool so thresholds trip
+    for arr in system.archive_fs.pool("fast").arrays:
+        arr.capacity_bytes = 100 * MB
+    seed_archive(env, system, {
+        f"/p/f{i}": (30 * MB, "alice") for i in range(5)
+    })  # 150/200 MB = 75%
+    result, reports = env.run(system.apply_policy_text(
+        "RULE 'spill' MIGRATE FROM POOL 'fast' THRESHOLD(70, 30) "
+        "TO POOL 'hsm' WEIGHT(FILE_SIZE)"
+    ))
+    assert len(reports) == 1
+    assert reports[0].files >= 3  # enough to fall from 75% toward 30%
+    assert system.archive_fs.pool("fast").occupancy <= 0.35
+
+
+# ---------------------------------------------------------------------------
+# dynamic link capacity
+# ---------------------------------------------------------------------------
+
+def test_degraded_link_slows_inflight_flow():
+    env = Environment()
+    fab = Fabric(env)
+    fab.add_link("a", "b", capacity=100.0)
+    ends = {}
+
+    def xfer():
+        res = yield fab.transfer("a", "b", 1000.0)
+        ends["t"] = res.end
+
+    def degrade():
+        yield env.timeout(5.0)  # 500 B delivered by now
+        fab.set_link_capacity("a->b", 50.0)
+
+    env.process(xfer())
+    env.process(degrade())
+    env.run()
+    # 500B at 100B/s + 500B at 50B/s = 5 + 10
+    assert ends["t"] == pytest.approx(15.0)
+
+
+def test_link_repair_speeds_up():
+    env = Environment()
+    fab = Fabric(env)
+    fab.add_link("a", "b", capacity=50.0)
+    ends = {}
+
+    def xfer():
+        res = yield fab.transfer("a", "b", 1000.0)
+        ends["t"] = res.end
+
+    def repair():
+        yield env.timeout(10.0)  # 500 B delivered
+        fab.set_link_capacity("a->b", 100.0)
+
+    env.process(xfer())
+    env.process(repair())
+    env.run()
+    assert ends["t"] == pytest.approx(15.0)
+
+
+def test_set_capacity_validation():
+    env = Environment()
+    fab = Fabric(env)
+    fab.add_link("a", "b", capacity=10.0)
+    with pytest.raises(KeyError):
+        fab.set_link_capacity("ghost", 5.0)
+    with pytest.raises(ValueError):
+        fab.set_link_capacity("a->b", 0.0)
+
+
+def test_trunk_degradation_end_to_end():
+    """Half the trunk dies mid-job: the archive rate drops accordingly."""
+    env = Environment()
+    system = small_site(env)
+    from repro.pftool import PftoolConfig
+    from repro.workloads import huge_file_campaign
+
+    huge_file_campaign(system.scratch_fs, "/d", 8, 2 * GB)
+    cfg = PftoolConfig(num_workers=8, num_readdir=1, num_tapeprocs=0,
+                       chunk_threshold=10**18, copy_batch=1)
+    job = system.archive("/d", "/a", cfg)
+
+    def degrade():
+        yield env.timeout(3.0)
+        # one of the two 10GigE trunk links fails
+        system.topology.fabric.set_link_capacity("site-trunk", 1250 * MB)
+
+    env.process(degrade())
+    stats = env.run(job.done)
+    assert stats.files_copied == 8
+    # 16 GB: with a healthy trunk this takes ~6.4s; degraded, much longer
+    assert stats.duration > 9.0

@@ -1,0 +1,168 @@
+"""Tests for the GPFS policy-language parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disksim import DiskArray
+from repro.pfs import GpfsFileSystem, ListRule, MigrateRule, PlacementRule, StoragePool
+from repro.pfs.inode import FileKind, Inode
+from repro.pfs.policy_lang import PolicyParseError, parse_policy
+from repro.sim import Environment
+
+MB = 1_000_000
+
+
+def _file(path="/f", size=0, uid="root", pool="fast", age=0.0, now=100.0):
+    ino = Inode(FileKind.FILE, now - age, uid=uid)
+    ino.size = size
+    ino.pool = pool
+    ino.atime = now - age
+    ino.mtime = now - age
+    return path, ino, now
+
+
+def test_parse_placement_rule():
+    rules = parse_policy("RULE 'small' SET POOL 'slow' WHERE FILE_SIZE < 1 MB")
+    assert len(rules) == 1
+    r = rules[0]
+    assert isinstance(r, PlacementRule)
+    assert r.pool == "slow"
+    assert r.matches(*_file(size=1000))
+    assert not r.matches(*_file(size=2 * MB))
+
+
+def test_parse_list_rule_with_like():
+    rules = parse_policy(
+        "RULE 'cand' LIST 'tape' WHERE PATH_NAME LIKE '/proj/%' "
+        "AND FILE_SIZE >= 100"
+    )
+    r = rules[0]
+    assert isinstance(r, ListRule)
+    assert r.list_name == "tape"
+    assert r.matches(*_file(path="/proj/x/data", size=200))
+    assert not r.matches(*_file(path="/other/data", size=200))
+    assert not r.matches(*_file(path="/proj/x/data", size=50))
+
+
+def test_parse_migrate_with_threshold_and_weight():
+    rules = parse_policy(
+        "RULE 'spill' MIGRATE FROM POOL 'fast' THRESHOLD(90, 70) "
+        "TO POOL 'hsm' WEIGHT(FILE_SIZE) WHERE MODIFICATION_AGE > 30 DAYS"
+    )
+    r = rules[0]
+    assert isinstance(r, MigrateRule)
+    assert r.from_pool == "fast"
+    assert r.to_pool == "hsm"
+    assert r.threshold_high == 90
+    assert r.threshold_low == 70
+    path, ino, now = _file(size=5 * MB, age=40 * 86400)
+    assert r.matches(path, ino, now)
+    assert r.weight(path, ino, now) == 5 * MB
+    fresh = _file(size=5 * MB, age=86400)
+    assert not r.matches(*fresh)
+
+
+def test_age_units_and_size_units():
+    rules = parse_policy(
+        "RULE 'a' LIST 'x' WHERE ACCESS_AGE > 2 HOURS AND FILE_SIZE < 1 GB"
+    )
+    r = rules[0]
+    assert r.matches(*_file(size=MB, age=3 * 3600, now=1e6))
+    assert not r.matches(*_file(size=MB, age=3600, now=1e6))
+
+
+def test_boolean_precedence_and_parens():
+    rules = parse_policy(
+        "RULE 'p' LIST 'x' WHERE FILE_SIZE > 10 AND NAME LIKE '%.dat' "
+        "OR NAME = 'special'"
+    )
+    r = rules[0]
+    assert r.matches(*_file(path="/d/special", size=1))
+    assert r.matches(*_file(path="/d/big.dat", size=100))
+    assert not r.matches(*_file(path="/d/big.txt", size=100))
+
+    rules = parse_policy(
+        "RULE 'q' LIST 'x' WHERE FILE_SIZE > 10 AND "
+        "(NAME LIKE '%.dat' OR NAME = 'special')"
+    )
+    r = rules[0]
+    assert not r.matches(*_file(path="/d/special", size=1))
+
+
+def test_not_operator():
+    r = parse_policy("RULE 'n' LIST 'x' WHERE NOT NAME LIKE '%.tmp'")[0]
+    assert r.matches(*_file(path="/d/keep.dat", size=1))
+    assert not r.matches(*_file(path="/d/junk.tmp", size=1))
+
+
+def test_user_and_pool_attrs():
+    r = parse_policy(
+        "RULE 'u' LIST 'x' WHERE USER_ID = 'alice' AND POOL_NAME = 'fast'"
+    )[0]
+    assert r.matches(*_file(uid="alice", pool="fast", size=1))
+    assert not r.matches(*_file(uid="bob", pool="fast", size=1))
+
+
+def test_string_escaping():
+    r = parse_policy("RULE 'e' LIST 'x' WHERE NAME = 'it''s'")[0]
+    assert r.matches(*_file(path="/d/it's", size=1))
+
+
+def test_comments_and_multiple_rules():
+    rules = parse_policy(
+        """
+        /* placement tier for small stuff */
+        RULE 'small' SET POOL 'slow' WHERE FILE_SIZE < 1 MB
+        RULE 'rest' SET POOL 'fast'
+        RULE 'cand' LIST 'tape' WHERE TRUE
+        """
+    )
+    assert len(rules) == 3
+    assert rules[1].where is None
+
+
+def test_parse_errors():
+    for bad in (
+        "",  # empty
+        "RULE 'x'",  # no clause
+        "RULE 'x' SET POOL",  # missing pool name
+        "RULE 'x' LIST 'l' WHERE FILE_SIZE >",  # dangling operator
+        "RULE 'x' LIST 'l' WHERE NOSUCH = 1",  # unknown attribute
+        "RULE 'x' FROB 'l'",  # unknown verb
+        "RULE 'x' LIST 'l' WHERE FILE_SIZE ~ 3",  # bad char
+    ):
+        with pytest.raises(PolicyParseError):
+            parse_policy(bad)
+
+
+def test_parsed_rules_run_through_the_engine():
+    """End-to-end: text -> rules -> policy scan on a live namespace."""
+    env = Environment()
+    fs = GpfsFileSystem(env, "fs", metadata_op_time=0.0)
+    arr = DiskArray(env, "a", capacity_bytes=1e12, bandwidth=1e9, seek_time=0.0)
+    fs.add_pool(StoragePool("fast", [arr]), default=True)
+
+    def seed():
+        fs.mkdir("/proj", parents=True)
+        yield fs.write_file("c", "/proj/big.dat", 50 * MB)
+        yield fs.write_file("c", "/proj/small.dat", 1000)
+        yield fs.write_file("c", "/proj/junk.tmp", 50 * MB)
+
+    env.run(env.process(seed()))
+    rules = parse_policy(
+        "RULE 'cand' LIST 'tape' WHERE FILE_SIZE >= 1 MB "
+        "AND NOT NAME LIKE '%.tmp'"
+    )
+    res = env.run(fs.policy.apply(rules))
+    assert [h.path for h in res.lists["tape"]] == ["/proj/big.dat"]
+
+
+@given(
+    size=st.integers(0, 10**13),
+    cutoff=st.integers(1, 10**12),
+)
+@settings(max_examples=100, deadline=None)
+def test_size_comparison_agrees_with_python(size, cutoff):
+    r = parse_policy(f"RULE 'p' LIST 'x' WHERE FILE_SIZE < {cutoff}")[0]
+    assert r.matches(*_file(size=size)) == (size < cutoff)

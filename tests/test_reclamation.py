@@ -1,0 +1,103 @@
+"""Tests for TSM space reclamation (sparse-volume compaction)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.tapesim import TapeLibrary, TapeSpec
+from repro.tsm import TsmServer
+
+MB = 1_000_000
+
+SPEC = TapeSpec(
+    native_rate=100e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=1e9, label_verify=2.0, backhitch=1.0,
+    capacity=2_000 * MB,  # small tapes so volumes fill fast
+)
+
+
+def make_tsm(env, n_drives=2):
+    lib = TapeLibrary(env, n_drives=n_drives, spec=SPEC, n_scratch=8,
+                      robot_exchange=3.0)
+    return TsmServer(env, lib, txn_time=0.005)
+
+
+def _fill_and_delete(env, tsm, n=10, size=100 * MB, delete_frac=0.7):
+    sess = tsm.open_session("fta0")
+    receipts = env.run(
+        sess.store_many("fs", [(f"/d/f{i}", size) for i in range(n)])
+    )
+    vol = receipts[0].volume
+    victims = receipts[: int(n * delete_frac)]
+    for r in victims:
+        env.run(tsm.delete_object(r.object_id))
+    survivors = receipts[int(n * delete_frac):]
+    return vol, survivors
+
+
+def test_reclaimable_volume_detection():
+    env = Environment()
+    tsm = make_tsm(env)
+    vol, _ = _fill_and_delete(env, tsm)
+    # the volume is still 'filling' for its group -> not yet reclaimable
+    assert vol not in tsm.reclaimable_volumes(0.5)
+    # force it out of rotation (e.g. operator marks it full)
+    tsm.library._filling = {
+        k: v for k, v in tsm.library._filling.items() if v != vol
+    }
+    assert vol in tsm.reclaimable_volumes(0.5)
+    assert vol not in tsm.reclaimable_volumes(0.1)  # 30% live > 10%
+
+
+def test_reclaim_moves_survivors_and_frees_volume():
+    env = Environment()
+    tsm = make_tsm(env)
+    vol, survivors = _fill_and_delete(env, tsm)
+    tsm.library._filling = {
+        k: v for k, v in tsm.library._filling.items() if v != vol
+    }
+    moved = env.run(tsm.reclaim_volume(vol))
+    assert moved == len(survivors)
+    # survivors are still retrievable, now on a different volume
+    for r in survivors:
+        obj = tsm.locate(r.object_id)
+        assert obj is not None
+        assert obj.volume != vol
+    # the old volume is erased and back in scratch
+    cart = tsm.library.volume(vol)
+    assert cart.eod == 0
+    assert vol in tsm.library.scratch
+
+
+def test_reclaimed_objects_still_retrievable():
+    env = Environment()
+    tsm = make_tsm(env)
+    vol, survivors = _fill_and_delete(env, tsm)
+    tsm.library._filling = {
+        k: v for k, v in tsm.library._filling.items() if v != vol
+    }
+    env.run(tsm.reclaim_volume(vol))
+    sess = tsm.open_session("fta1")
+    out = env.run(sess.retrieve_many([r.object_id for r in survivors]))
+    assert {o.object_id for o in out} == {r.object_id for r in survivors}
+
+
+def test_reclaim_empty_volume_is_noop_move():
+    env = Environment()
+    tsm = make_tsm(env)
+    vol, survivors = _fill_and_delete(env, tsm, delete_frac=1.0)
+    tsm.library._filling = {
+        k: v for k, v in tsm.library._filling.items() if v != vol
+    }
+    moved = env.run(tsm.reclaim_volume(vol))
+    assert moved == 0
+    assert tsm.library.volume(vol).eod == 0
+
+
+def test_full_healthy_volume_not_reclaimable():
+    env = Environment()
+    tsm = make_tsm(env)
+    vol, _ = _fill_and_delete(env, tsm, delete_frac=0.0)
+    tsm.library._filling = {
+        k: v for k, v in tsm.library._filling.items() if v != vol
+    }
+    assert vol not in tsm.reclaimable_volumes(0.5)

@@ -1,0 +1,105 @@
+"""Tests for seeded RNG streams and storage pool bookkeeping."""
+
+import pytest
+
+from repro.disksim import DiskArray
+from repro.pfs import ExternalPool, StoragePool
+from repro.sim import Environment, RandomStreams, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# RandomStreams
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_stream():
+    a = RandomStreams(42).stream("workload")
+    b = RandomStreams(42).stream("workload")
+    assert list(a.integers(0, 100, 10)) == list(b.integers(0, 100, 10))
+
+
+def test_different_names_independent():
+    rs = RandomStreams(42)
+    a = list(rs.stream("alpha").integers(0, 1000, 20))
+    b = list(rs.stream("beta").integers(0, 1000, 20))
+    assert a != b
+
+
+def test_stream_is_cached_not_restarted():
+    rs = RandomStreams(1)
+    first = rs.stream("x").integers(0, 10**9)
+    second = rs.stream("x").integers(0, 10**9)
+    # same generator object advancing, not a fresh stream each call
+    assert rs.stream("x") is rs.stream("x")
+    assert (first, second) != (first, first) or first != second
+
+
+def test_adding_streams_does_not_perturb_others():
+    """The common-random-numbers discipline: draws from stream A are the
+    same whether or not stream B was ever created."""
+    rs1 = RandomStreams(7)
+    a_only = list(rs1.stream("a").integers(0, 10**6, 10))
+    rs2 = RandomStreams(7)
+    rs2.stream("b").integers(0, 10**6, 10)  # interloper
+    a_with_b = list(rs2.stream("a").integers(0, 10**6, 10))
+    assert a_only == a_with_b
+
+
+def test_spawn_children_differ_from_parent_and_each_other():
+    rs = RandomStreams(5)
+    c1 = rs.spawn("node1")
+    c2 = rs.spawn("node2")
+    assert c1.master_seed != c2.master_seed != rs.master_seed
+    v1 = c1.stream("s").integers(0, 10**9)
+    v2 = c2.stream("s").integers(0, 10**9)
+    assert v1 != v2
+    # deterministic
+    assert RandomStreams(5).spawn("node1").master_seed == c1.master_seed
+
+
+# ---------------------------------------------------------------------------
+# storage pools
+# ---------------------------------------------------------------------------
+
+def _arrays(env, n=2, cap=1000.0):
+    return [
+        DiskArray(env, f"a{i}", capacity_bytes=cap, bandwidth=1e6, seek_time=0)
+        for i in range(n)
+    ]
+
+
+def test_pool_capacity_and_occupancy_aggregate():
+    env = Environment()
+    arrays = _arrays(env, 2, cap=1000.0)
+    pool = StoragePool("p", arrays)
+    assert pool.capacity_bytes == 2000.0
+    assert pool.occupancy == 0.0
+    arrays[0].allocate(500)
+    assert pool.used_bytes == 500
+    assert pool.free_bytes == 1500
+    assert pool.occupancy == pytest.approx(0.25)
+
+
+def test_pool_requires_arrays():
+    with pytest.raises(SimulationError):
+        StoragePool("empty", [])
+
+
+def test_pool_server_nodes_must_match():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        StoragePool("p", _arrays(env, 2), server_nodes=["only-one"])
+
+
+def test_pool_server_of():
+    env = Environment()
+    pool = StoragePool("p", _arrays(env, 2), server_nodes=["ds0", "ds1"])
+    assert pool.server_of(1) == "ds1"
+    bare = StoragePool("q", _arrays(env, 1))
+    assert bare.server_of(0) is None
+
+
+def test_external_pool_flag():
+    ext = ExternalPool("hsm")
+    assert ext.is_external
+    env = Environment()
+    assert not StoragePool("p", _arrays(env, 1)).is_external

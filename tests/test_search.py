@@ -1,0 +1,168 @@
+"""Tests for the multi-dimensional metadata catalogue (§7 future work)."""
+
+import pytest
+
+from repro.disksim import DiskArray
+from repro.pfs import GpfsFileSystem, HsmState, StoragePool
+from repro.search import MetadataCatalog, Query
+from repro.sim import Environment
+
+MB = 1_000_000
+
+
+def build_fs(env):
+    fs = GpfsFileSystem(env, "arch", metadata_op_time=0.0)
+    arr = DiskArray(env, "a", capacity_bytes=1e14, bandwidth=1e9, seek_time=0.0)
+    fs.add_pool(StoragePool("fast", [arr]), default=True)
+    return fs
+
+
+def seed(env, fs):
+    def go():
+        fs.mkdir("/proj/alice", parents=True)
+        fs.mkdir("/proj/bob", parents=True)
+        yield fs.write_file("c", "/proj/alice/ckpt_001.h5", 500 * MB, uid="alice")
+        yield fs.write_file("c", "/proj/alice/ckpt_002.h5", 600 * MB, uid="alice")
+        yield fs.write_file("c", "/proj/alice/notes.txt", 1000, uid="alice")
+        yield fs.write_file("c", "/proj/bob/run.dat", 50 * MB, uid="bob")
+
+    env.run(env.process(go()))
+
+
+def test_build_and_count():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs, scan_rate=1e6)
+    n = env.run(cat.build())
+    assert n == 4
+    assert len(cat) == 4
+    assert cat.built_at == pytest.approx(env.now)
+
+
+def test_build_charges_scan_time():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs, scan_rate=2.0)  # 2 inodes/s
+    t0 = env.now
+    env.run(cat.build())
+    assert env.now - t0 == pytest.approx(4 / 2.0)
+
+
+def test_search_by_owner():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query(owner="alice")))
+    assert len(hits) == 3
+    assert all(h.owner == "alice" for h in hits)
+
+
+def test_search_multi_dimensional():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(
+        cat.search(
+            Query(owner="alice", size_min=100 * MB, name_glob="ckpt_*.h5")
+        )
+    )
+    assert [h.path for h in hits] == [
+        "/proj/alice/ckpt_001.h5",
+        "/proj/alice/ckpt_002.h5",
+    ]
+
+
+def test_search_size_range():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query(size_min=2000, size_max=100 * MB)))
+    assert [h.path for h in hits] == ["/proj/bob/run.dat"]
+
+
+def test_search_mtime_window():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+
+    def later():
+        yield env.timeout(1000)
+        yield fs.write_file("c", "/proj/bob/new.dat", 5 * MB, uid="bob")
+
+    env.run(env.process(later()))
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query(modified_after=500.0)))
+    assert [h.path for h in hits] == ["/proj/bob/new.dat"]
+
+
+def test_search_hsm_state_dimension():
+    """Find what's on tape vs on disk without touching tape."""
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    inode = fs.lookup("/proj/alice/ckpt_001.h5")
+    inode.tsm_object_id = 1
+    inode.hsm_state = HsmState.MIGRATED
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query(hsm_state="migrated")))
+    assert [h.path for h in hits] == ["/proj/alice/ckpt_001.h5"]
+
+
+def test_tags_survive_rebuild():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    cat.tag("/proj/alice/ckpt_001.h5", "campaign:openscience", "published")
+    env.run(cat.build())  # rebuild keeps tags
+    hits = env.run(cat.search(Query(tag="published")))
+    assert len(hits) == 1
+    assert "campaign:openscience" in hits[0].tags
+
+
+def test_tag_unknown_file_raises():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+
+    def go():
+        yield fs.write_file("c", "/proj/bob/untracked", 10)
+
+    env.run(env.process(go()))
+    with pytest.raises(KeyError):
+        cat.tag("/proj/bob/untracked", "x")
+
+
+def test_path_prefix_and_empty_result():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query(path_prefix="/proj/bob/")))
+    assert [h.path for h in hits] == ["/proj/bob/run.dat"]
+    hits = env.run(cat.search(Query(owner="nobody")))
+    assert hits == []
+
+
+def test_unconstrained_query_returns_everything():
+    env = Environment()
+    fs = build_fs(env)
+    seed(env, fs)
+    cat = MetadataCatalog(env, fs)
+    env.run(cat.build())
+    hits = env.run(cat.search(Query()))
+    assert len(hits) == 4

@@ -1,0 +1,288 @@
+"""Unit tests for the DES kernel (events, processes, interrupts, run modes)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5.0)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        v = yield env.timeout(1.0, value="hello")
+        return v
+
+    p = env.process(proc())
+    assert env.run(p) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result * 2
+
+    p = env.process(parent())
+    assert env.run(p) == 84
+    assert env.now == 3
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    seen = []
+
+    def waiter():
+        val = yield ev
+        seen.append((env.now, val))
+
+    def trigger():
+        yield env.timeout(4)
+        ev.succeed("done")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert seen == [(4.0, "done")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield ev
+        return "caught"
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    p = env.process(waiter())
+    env.process(trigger())
+    assert env.run(p) == "caught"
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    hits = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            hits.append(env.now)
+
+    env.process(ticker())
+    env.run(until=5)
+    assert hits == [1, 2, 3, 4, 5]
+    assert env.now == 5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as itr:
+            causes.append((env.now, itr.cause))
+
+    def attacker(v):
+        yield env.timeout(3)
+        v.interrupt("preempted")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert causes == [(3.0, "preempted")]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_rewait_original_event():
+    """After an interrupt, the process may resume waiting on the same event."""
+    env = Environment()
+
+    def victim():
+        t = env.timeout(10)
+        try:
+            yield t
+        except Interrupt:
+            pass
+        yield t  # keep waiting for the original deadline
+        return env.now
+
+    def attacker(v):
+        yield env.timeout(2)
+        v.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    assert env.run(v) == 10
+
+
+def test_all_of_collects_values():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(2, "b")
+        res = yield AllOf(env, [t1, t2])
+        return sorted(res.values())
+
+    p = env.process(proc())
+    assert env.run(p) == ["a", "b"]
+    assert env.now == 2
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1, "fast")
+        t2 = env.timeout(50, "slow")
+        res = yield AnyOf(env, [t1, t2])
+        return list(res.values())
+
+    p = env.process(proc())
+    assert env.run(p) == ["fast"]
+    assert env.now == 1
+
+
+def test_and_or_operators():
+    env = Environment()
+
+    def proc():
+        both = yield env.timeout(1) & env.timeout(2)
+        assert len(both) == 2
+        one = yield env.timeout(1) | env.timeout(99)
+        assert len(one) == 1
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(p) == 3  # AllOf fires at t=2, AnyOf 1s later
+
+
+def test_deterministic_tie_break_order():
+    """Events at the same time run in scheduling order."""
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield env.timeout(1)
+            order.append(tag)
+
+        return proc
+
+    for tag in ("a", "b", "c", "d"):
+        env.process(make(tag)())
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_yield_non_event_errors():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_run_until_event_value():
+    env = Environment()
+    ev = env.event()
+
+    def setter():
+        yield env.timeout(7)
+        ev.succeed("finished")
+
+    env.process(setter())
+    assert env.run(until=ev) == "finished"
+    assert env.now == 7
+
+
+def _noop(env):
+    yield env.timeout(3)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.process(_noop(env))
+    env.step()  # init event
+    assert env.peek() == 3.0
+    env.run()
+    assert env.peek() == float("inf")

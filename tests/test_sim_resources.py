@@ -1,0 +1,278 @@
+"""Unit tests for Resource / Container / Store primitives."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def user(i):
+        with res.request() as req:
+            yield req
+            active.append(i)
+            peak.append(len(active))
+            yield env.timeout(10)
+            active.remove(i)
+
+    for i in range(5):
+        env.process(user(i))
+    env.run()
+    assert max(peak) == 2
+    assert env.now == 30  # 5 users, 2 at a time, 10s each -> ceil(5/2)*10
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(i):
+        with res.request() as req:
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+
+    for i in range(4):
+        env.process(user(i))
+    env.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_priority_resource_serves_low_priority_value_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(i, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(i)
+
+    env.process(holder())
+    env.process(user("low", 10, 1))
+    env.process(user("high", 0, 2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_cancel_pending_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def fickle():
+        req = res.request()
+        yield env.timeout(1)
+        req.cancel()
+
+    def patient():
+        with res.request() as req:
+            yield req
+            got.append(env.now)
+
+    env.process(holder())
+    env.process(fickle())
+    env.process(patient())
+    env.run()
+    assert got == [10]
+
+
+def test_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_container_put_get():
+    env = Environment()
+    c = Container(env, capacity=100, init=10)
+    seen = []
+
+    def consumer():
+        yield c.get(30)
+        seen.append(env.now)
+
+    def producer():
+        yield env.timeout(5)
+        yield c.put(25)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert seen == [5]
+    assert c.level == 5
+
+
+def test_container_capacity_blocks_put():
+    env = Environment()
+    c = Container(env, capacity=10, init=10)
+    done = []
+
+    def producer():
+        yield c.put(5)
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield c.get(7)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert done == [3]
+
+
+def test_container_rejects_bad_amounts():
+    env = Environment()
+    c = Container(env, capacity=10)
+    with pytest.raises(SimulationError):
+        c.get(20)
+    with pytest.raises(SimulationError):
+        c.put(-1)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5, init=6)
+
+
+def test_store_fifo():
+    env = Environment()
+    s = Store(env)
+    out = []
+
+    def producer():
+        for i in range(3):
+            yield s.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield s.get()
+            out.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == [0, 1, 2]
+
+
+def test_store_capacity_backpressure():
+    env = Environment()
+    s = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        for i in range(3):
+            yield s.put(i)
+            times.append(env.now)
+
+    def consumer():
+        while True:
+            yield env.timeout(10)
+            yield s.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run(until=100)
+    assert times == [0, 10, 20]
+
+
+def test_filter_store_selects_matching():
+    env = Environment()
+    s = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield s.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        yield s.put(1)
+        yield s.put(3)
+        yield env.timeout(1)
+        yield s.put(4)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [4]
+    assert s.items == [1, 3]
+
+
+def test_filter_store_nonblocking_other_getters():
+    env = Environment()
+    s = FilterStore(env)
+    got = []
+
+    def want(pred, tag):
+        item = yield s.get(pred)
+        got.append((tag, item))
+
+    env.process(want(lambda x: x == "b", "first"))
+    env.process(want(lambda x: x == "a", "second"))
+
+    def producer():
+        yield s.put("a")
+        yield s.put("b")
+
+    env.process(producer())
+    env.run()
+    assert sorted(got) == [("first", "b"), ("second", "a")]
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    s = PriorityStore(env)
+    out = []
+
+    def producer():
+        yield s.put((3, 0, "c"))
+        yield s.put((1, 1, "a"))
+        yield s.put((2, 2, "b"))
+
+    def consumer():
+        yield env.timeout(1)
+        for _ in range(3):
+            item = yield s.get()
+            out.append(item[2])
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_store_len():
+    env = Environment()
+    s = Store(env)
+
+    def producer():
+        yield s.put("x")
+        yield s.put("y")
+
+    env.process(producer())
+    env.run()
+    assert len(s) == 2

@@ -1,0 +1,179 @@
+"""Tests for the table engine and the tape index DB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.tapedb import Table, TapeIndexDB, TapeLocation
+
+
+# ---------------------------------------------------------------------------
+# table engine
+# ---------------------------------------------------------------------------
+
+def make_table():
+    t = Table("t", columns=("id", "a", "b"), primary_key="id")
+    t.create_index("by_a", ("a",))
+    t.create_index("by_ab", ("a", "b"))
+    return t
+
+
+def test_insert_get_delete():
+    t = make_table()
+    t.insert({"id": 1, "a": "x", "b": 10})
+    assert t.get(1) == {"id": 1, "a": "x", "b": 10}
+    assert t.delete(1)
+    assert t.get(1) is None
+    assert not t.delete(1)
+
+
+def test_duplicate_pk_rejected():
+    t = make_table()
+    t.insert({"id": 1, "a": "x", "b": 1})
+    with pytest.raises(ValueError, match="duplicate key"):
+        t.insert({"id": 1, "a": "y", "b": 2})
+
+
+def test_schema_enforced():
+    t = make_table()
+    with pytest.raises(ValueError):
+        t.insert({"id": 1, "a": "x"})  # missing b
+    with pytest.raises(ValueError):
+        t.insert({"id": 1, "a": "x", "b": 1, "z": 9})  # extra
+
+
+def test_index_equality_lookup():
+    t = make_table()
+    for i in range(10):
+        t.insert({"id": i, "a": "even" if i % 2 == 0 else "odd", "b": i})
+    evens = t.select_eq("by_a", "even")
+    assert sorted(r["id"] for r in evens) == [0, 2, 4, 6, 8]
+
+
+def test_index_prefix_and_order():
+    t = make_table()
+    for i, b in enumerate([5, 3, 9, 1]):
+        t.insert({"id": i, "a": "k", "b": b})
+    rows = t.select_prefix("by_ab", "k")
+    assert [r["b"] for r in rows] == [1, 3, 5, 9]  # key order
+
+
+def test_index_range():
+    t = make_table()
+    for i in range(10):
+        t.insert({"id": i, "a": "k", "b": i})
+    rows = t.select_range("by_ab", lo=("k", 3), hi=("k", 7))
+    assert [r["b"] for r in rows] == [3, 4, 5, 6]
+
+
+def test_update_reindexes():
+    t = make_table()
+    t.insert({"id": 1, "a": "x", "b": 1})
+    t.update(1, a="y")
+    assert t.select_eq("by_a", "x") == []
+    assert t.select_eq("by_a", "y")[0]["id"] == 1
+
+
+def test_update_pk_change_rejected():
+    t = make_table()
+    t.insert({"id": 1, "a": "x", "b": 1})
+    with pytest.raises(ValueError):
+        t.update(1, id=2)
+
+
+def test_create_index_backfills():
+    t = Table("t", columns=("id", "a"), primary_key="id")
+    t.insert({"id": 1, "a": "x"})
+    idx = t.create_index("late", ("a",))
+    assert len(idx) == 1
+    assert t.select_eq("late", "x")[0]["id"] == 1
+
+
+def test_scan_with_predicate():
+    t = make_table()
+    for i in range(5):
+        t.insert({"id": i, "a": "k", "b": i})
+    assert sorted(r["id"] for r in t.scan(lambda r: r["b"] >= 3)) == [3, 4]
+
+
+def test_rows_returned_are_copies():
+    t = make_table()
+    t.insert({"id": 1, "a": "x", "b": 1})
+    row = t.get(1)
+    row["a"] = "mutated"
+    assert t.get(1)["a"] == "x"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 5), st.integers(0, 5)),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_index_consistent_with_scan(ops):
+    """Index lookups always agree with a full scan, under mixed ops."""
+    t = make_table()
+    present = set()
+    for pk, a, b in ops:
+        if pk in present:
+            t.delete(pk)
+            present.discard(pk)
+        else:
+            t.insert({"id": pk, "a": a, "b": b})
+            present.add(pk)
+    for a in range(6):
+        via_index = sorted(r["id"] for r in t.select_eq("by_a", a))
+        via_scan = sorted(r["id"] for r in t.scan(lambda r: r["a"] == a))
+        assert via_index == via_scan
+
+
+# ---------------------------------------------------------------------------
+# tape index DB
+# ---------------------------------------------------------------------------
+
+def test_tapeindex_roundtrip_and_order():
+    env = Environment()
+    db = TapeIndexDB(env)
+    db.upsert(1, "/a", "fs", "V1", 3, 100)
+    db.upsert(2, "/b", "fs", "V1", 1, 200)
+    db.upsert(3, "/c", "fs", "V2", 1, 300)
+    assert db.location_of(1).volume == "V1"
+    assert db.object_for_path("fs", "/b").object_id == 2
+    vol1 = db.objects_on_volume("V1")
+    assert [l.seq for l in vol1] == [1, 3]
+
+
+def test_tapeindex_upsert_replaces():
+    env = Environment()
+    db = TapeIndexDB(env)
+    db.upsert(1, "/a", "fs", "V1", 1, 100)
+    db.upsert(1, "/a", "fs", "V9", 7, 100)
+    assert db.location_of(1).volume == "V9"
+    assert len(db) == 1
+
+
+def test_tapeindex_locate_many_charges_time():
+    env = Environment()
+    db = TapeIndexDB(env, query_latency=0.01)
+    db.upsert(1, "/a", "fs", "V1", 1, 100)
+
+    res = env.run(db.locate_many("fs", ["/a", "/missing"]))
+    assert res["/a"].seq == 1
+    assert res["/missing"] is None
+    assert env.now >= 0.01
+    assert db.queries == 1
+
+
+def test_sort_tape_order_groups_and_sorts():
+    locs = [
+        TapeLocation(1, "/a", "fs", "V2", 2, 1),
+        TapeLocation(2, "/b", "fs", "V1", 9, 1),
+        TapeLocation(3, "/c", "fs", "V2", 1, 1),
+        TapeLocation(4, "/d", "fs", "V1", 4, 1),
+    ]
+    ordered = TapeIndexDB.sort_tape_order(locs)
+    assert list(ordered) == ["V1", "V2"]
+    assert [l.seq for l in ordered["V1"]] == [4, 9]
+    assert [l.seq for l in ordered["V2"]] == [1, 2]

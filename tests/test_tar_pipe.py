@@ -1,0 +1,138 @@
+"""Tests for PFTool's §7 grass-files (tar-pipe) small-file packing."""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+from repro.workloads import small_file_flood
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env, **over):
+    kw = dict(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0005,
+    )
+    kw.update(over)
+    return ParallelArchiveSystem(env, ArchiveParams(**kw))
+
+
+def seed_small(env, system, n, size=64 * KB):
+    def go():
+        system.scratch_fs.mkdir("/grass", parents=True)
+        for i in range(n):
+            yield system.scratch_fs.write_file(
+                "scratch", f"/grass/g{i:05d}", size
+            )
+
+    env.run(env.process(go()))
+
+
+def cfg(pack, **over):
+    kw = dict(num_workers=4, num_readdir=1, num_tapeprocs=2,
+              stat_batch=32, copy_batch=16, tar_pipe=pack)
+    kw.update(over)
+    return PftoolConfig(**kw)
+
+
+def test_packed_archive_creates_members_and_containers():
+    env = Environment()
+    system = small_site(env)
+    seed_small(env, system, 40)
+    stats = env.run(system.archive("/grass", "/a", cfg(True)).done)
+    assert stats.files_copied == 40
+    # members exist with the right identity
+    for i in range(40):
+        m = system.archive_fs.lookup(f"/a/g{i:05d}")
+        assert m.size == 64 * KB
+        assert "__packed_in__" in m.xattrs
+        src = system.scratch_fs.lookup(f"/grass/g{i:05d}")
+        assert m.content_token == src.content_token
+    # containers hold the actual bytes: 40 files / 16 per batch -> 3
+    containers = [
+        p for p, n in system.archive_fs.walk("/a")
+        if n.is_file and ".pftar_" in p
+    ]
+    assert len(containers) == 3
+    total = sum(system.archive_fs.lookup(c).size for c in containers)
+    assert total == 40 * 64 * KB
+
+
+def test_packed_mode_faster_for_many_tiny_files():
+    def run(pack):
+        env = Environment()
+        system = small_site(env)
+        seed_small(env, system, 120, size=16 * KB)
+        stats = env.run(system.archive("/grass", "/a", cfg(pack)).done)
+        return stats.duration
+
+    t_plain = run(False)
+    t_packed = run(True)
+    assert t_packed < t_plain * 0.6
+
+
+def test_packed_members_roundtrip_resident():
+    env = Environment()
+    system = small_site(env)
+    seed_small(env, system, 20)
+    env.run(system.archive("/grass", "/a", cfg(True)).done)
+    stats = env.run(system.retrieve("/a", "/back", cfg(False)).done)
+    assert stats.files_copied == 20
+    for i in range(20):
+        back = system.scratch_fs.lookup(f"/back/g{i:05d}")
+        src = system.scratch_fs.lookup(f"/grass/g{i:05d}")
+        assert back.size == src.size
+        assert back.content_token == src.content_token
+
+
+def test_packed_members_roundtrip_through_tape():
+    """Members survive container migration: retrieve recalls the container
+    ONCE and fans members out of it."""
+    env = Environment()
+    system = small_site(env)
+    seed_small(env, system, 20)
+    env.run(system.archive("/grass", "/a", cfg(True)).done)
+    report = env.run(system.migrate_to_tape())
+    # only the containers migrated (members are namespace-only)
+    assert report.files == 2  # 20 files / 16 per batch -> 2 containers
+    recalls_before = system.tsm.bytes_retrieved
+    stats = env.run(system.retrieve("/a", "/back", cfg(False)).done)
+    assert stats.files_copied == 20
+    assert stats.tape_files_restored == 2  # containers, not members
+    for i in range(20):
+        back = system.scratch_fs.lookup(f"/back/g{i:05d}")
+        src = system.scratch_fs.lookup(f"/grass/g{i:05d}")
+        assert back.content_token == src.content_token
+    assert system.tsm.bytes_retrieved - recalls_before == 20 * 64 * KB
+
+
+def test_packed_migration_single_tape_object_per_container():
+    env = Environment()
+    system = small_site(env, n_tape_drives=1)
+    seed_small(env, system, 32)
+    env.run(system.archive("/grass", "/a", cfg(True)).done)
+    bh0 = system.library.total_backhitches
+    env.run(system.migrate_to_tape())
+    # 32 files / 16 per batch = 2 containers = 2 tape transactions
+    assert system.library.total_backhitches - bh0 == 2
+
+
+def test_pfcm_compare_works_on_packed_archive():
+    env = Environment()
+    system = small_site(env)
+    seed_small(env, system, 10)
+    env.run(system.archive("/grass", "/a", cfg(True)).done)
+    stats = env.run(system.compare("/grass", "/a", cfg(False)).done)
+    assert stats.files_compared == 10
+    assert stats.compare_mismatches == 0

@@ -1,0 +1,242 @@
+"""Tests for the TSM server: stores, retrieves, aggregation, LAN-free."""
+
+import pytest
+
+from repro.netsim import Fabric
+from repro.sim import Environment
+from repro.tapedb import TapeIndexDB, TsmDbExporter
+from repro.tapesim import TapeLibrary, TapeSpec
+from repro.tsm import TsmServer
+
+SPEC = TapeSpec(
+    native_rate=100e6,
+    load_time=10.0,
+    unload_time=10.0,
+    rewind_full=50.0,
+    seek_base=1.0,
+    locate_rate=1e9,
+    label_verify=5.0,
+    backhitch=2.0,
+    capacity=1000e9,
+)
+
+
+def make_tsm(env, n_drives=2, fabric=None, ports=None, server_node=None):
+    lib = TapeLibrary(
+        env, n_drives=n_drives, spec=SPEC, n_scratch=8, robot_exchange=5.0,
+        fabric=fabric, drive_ports=ports,
+    )
+    return TsmServer(env, lib, server_node=server_node, txn_time=0.005)
+
+
+def test_store_and_locate():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    receipts = env.run(sess.store("fs", "/f", 100_000_000))
+    assert len(receipts) == 1
+    r = receipts[0]
+    obj = tsm.locate(r.object_id)
+    assert obj.path == "/f"
+    assert obj.volume == r.volume
+    assert tsm.bytes_stored == 100_000_000
+
+
+def test_store_many_holds_one_drive():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    items = [(f"/f{i}", 1_000_000) for i in range(10)]
+    receipts = env.run(sess.store_many("fs", items))
+    assert len(receipts) == 10
+    assert tsm.library.total_mounts == 1
+    # all on the same volume, ascending seq
+    seqs = [r.seq for r in receipts]
+    assert seqs == sorted(seqs)
+    assert len({r.volume for r in receipts}) == 1
+
+
+def test_store_rolls_to_next_volume_when_full():
+    env = Environment()
+    spec = TapeSpec(
+        native_rate=100e6, load_time=1, unload_time=1, rewind_full=1,
+        seek_base=0.1, locate_rate=1e9, label_verify=1, backhitch=0.1,
+        capacity=1000,
+    )
+    lib = TapeLibrary(env, n_drives=1, spec=spec, n_scratch=4, robot_exchange=1.0)
+    tsm = TsmServer(env, lib)
+    sess = tsm.open_session("fta0")
+    receipts = env.run(sess.store_many("fs", [("/a", 600), ("/b", 600)]))
+    assert len({r.volume for r in receipts}) == 2
+    assert lib.total_mounts == 2
+
+
+def test_retrieve_returns_data_in_given_order():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+
+    def go():
+        receipts = yield sess.store_many(
+            "fs", [(f"/f{i}", 10_000_000) for i in range(4)]
+        )
+        ids = [r.object_id for r in receipts]
+        out = yield sess.retrieve_many(ids)
+        return receipts, out
+
+    receipts, out = env.run(env.process(go()))
+    assert [o.object_id for o in out] == [r.object_id for r in receipts]
+    assert tsm.bytes_retrieved == 40_000_000
+
+
+def test_retrieve_unknown_object_raises():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    with pytest.raises(Exception):
+        env.run(sess.retrieve(999))
+
+
+def test_aggregate_store_single_transaction_single_backhitch():
+    """Aggregation: N small files, one tape object, one backhitch."""
+    env = Environment()
+    tsm = make_tsm(env, n_drives=1)
+    sess = tsm.open_session("fta0")
+    items = [(f"/small{i}", 8_000_000) for i in range(20)]
+    receipts = env.run(sess.store_aggregate("fs", items))
+    assert len(receipts) == 20
+    drv = tsm.library.drives[0]
+    assert drv.backhitches == 1
+    # every member shares the aggregate's (volume, seq)
+    assert len({(r.volume, r.seq) for r in receipts}) == 1
+    assert {r.aggregate_id for r in receipts} != {None}
+    # offsets tile the aggregate
+    offs = sorted(r.offset for r in receipts)
+    assert offs == [8_000_000 * i for i in range(20)]
+
+
+def test_aggregate_vs_per_file_speedup():
+    """The §6.1 experiment in miniature: aggregation ~25x faster."""
+    env = Environment()
+    tsm = make_tsm(env, n_drives=2)
+    s = tsm.open_session("fta0")
+    items = [(f"/s{i}", 8_000_000) for i in range(50)]
+
+    def timed(ev_factory):
+        t0 = env.now
+        def _go():
+            yield ev_factory()
+            return env.now - t0
+        return env.process(_go())
+
+    d1 = env.run(timed(lambda: s.store_many("fs", items)))
+    items2 = [(f"/t{i}", 8_000_000) for i in range(50)]
+    t0 = env.now
+
+    def _go2():
+        yield s.store_aggregate("fs", items2)
+        return env.now - t0
+
+    d2 = env.run(env.process(_go2()))
+    assert d1 / d2 > 5  # per-file pays 50 backhitches; aggregate pays 1
+
+
+def test_member_retrieve_from_aggregate():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+
+    def go():
+        receipts = yield sess.store_aggregate(
+            "fs", [("/a", 1_000_000), ("/b", 2_000_000)]
+        )
+        out = yield sess.retrieve(receipts[1].object_id)
+        return out
+
+    out = env.run(env.process(go()))
+    assert out[0].path == "/b"
+    assert tsm.bytes_retrieved == 2_000_000
+
+
+def test_delete_object_removes_extent():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+
+    def go():
+        receipts = yield sess.store("fs", "/f", 1_000_000)
+        r = receipts[0]
+        ok = yield tsm.delete_object(r.object_id)
+        return r, ok
+
+    r, ok = env.run(env.process(go()))
+    assert ok
+    assert tsm.locate(r.object_id) is None
+    cart = tsm.library.cartridges[r.volume]
+    assert cart.extent_of(r.object_id) is None
+    assert cart.eod > 0  # space NOT reclaimed (tape semantics)
+
+
+def test_lan_free_vs_lan_paths():
+    """LAN sessions funnel through the server NIC; LAN-free do not."""
+    def build(lan_free):
+        env = Environment()
+        fab = Fabric(env)
+        # client -- LAN(50 MB/s) -- server ; client/server -- SAN -- drive
+        fab.add_link("client", "server", capacity=50e6)
+        fab.add_link("client", "san", capacity=400e6)
+        fab.add_link("server", "san", capacity=400e6)
+        fab.add_link("san", "port0", capacity=400e6)
+        fab.add_link("san", "port1", capacity=400e6)
+        lib = TapeLibrary(
+            env, n_drives=2, spec=SPEC, n_scratch=4, robot_exchange=5.0,
+            fabric=fab, drive_ports=["port0", "port1"],
+        )
+        tsm = TsmServer(env, lib, server_node="server")
+        sess = tsm.open_session("client", lan_free=lan_free)
+        env.run(sess.store("fs", "/f", 500_000_000))
+        return env.now
+
+    t_lanfree = build(True)
+    t_lan = build(False)
+    # LAN path is limited by the 50 MB/s client->server link (10s relay,
+    # overlapped with the 2+5s drive write) vs 7s total for LAN-free.
+    assert t_lan - t_lanfree == pytest.approx(3.0, abs=0.1)
+
+
+def test_objects_for_path_and_export():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    env.run(sess.store("fs", "/f", 1000))
+    objs = tsm.objects_for_path("fs", "/f")
+    assert len(objs) == 1
+    rows = list(tsm.export_rows())
+    assert rows[0]["path"] == "/f"
+    assert rows[0]["volume"] == objs[0].volume
+
+
+def test_exporter_populates_index_db():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    db = TapeIndexDB(env)
+    exporter = TsmDbExporter(env, tsm, db)
+
+    def go():
+        yield sess.store_many("fs", [("/a", 1000), ("/b", 2000)])
+        n = yield exporter.run_once()
+        return n
+
+    n = env.run(env.process(go()))
+    assert n == 2
+    assert db.object_for_path("fs", "/a") is not None
+    assert db.object_for_path("fs", "/b").nbytes == 2000
+
+
+def test_empty_store_batch():
+    env = Environment()
+    tsm = make_tsm(env)
+    sess = tsm.open_session("fta0")
+    assert env.run(sess.store_many("fs", [])) == []
+    assert env.run(sess.store_aggregate("fs", [])) == []

@@ -1,0 +1,147 @@
+"""Tests for the sharded multi-server TSM store (§6.4 future work)."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.tapedb import TapeIndexDB, TsmDbExporter
+from repro.tapesim import TapeLibrary, TapeSpec
+from repro.tsm import ShardedTsmStore, TsmServer
+
+MB = 1_000_000
+
+SPEC = TapeSpec(
+    native_rate=100e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=1e9, label_verify=2.0, backhitch=1.0,
+    capacity=800e9,
+)
+
+
+def make_sharded(env, n_servers=2, n_drives=2, txn_time=0.005):
+    servers = []
+    for _ in range(n_servers):
+        lib = TapeLibrary(env, n_drives=n_drives, spec=SPEC, n_scratch=8,
+                          robot_exchange=3.0)
+        servers.append(TsmServer(env, lib, txn_time=txn_time))
+    return ShardedTsmStore(env, servers)
+
+
+def test_empty_sharded_store_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        ShardedTsmStore(env, [])
+
+
+def test_path_routing_is_stable_and_spread():
+    env = Environment()
+    store = make_sharded(env, n_servers=4)
+    shards = {store.shard_of_path(f"/p/file{i}") for i in range(200)}
+    assert shards == {0, 1, 2, 3}  # every shard gets traffic
+    assert store.shard_of_path("/p/x") == store.shard_of_path("/p/x")
+
+
+def test_object_ids_globally_unique_and_routable():
+    env = Environment()
+    store = make_sharded(env, n_servers=3)
+    sess = store.open_session("fta0")
+    items = [(f"/d/f{i}", 1 * MB) for i in range(30)]
+    receipts = env.run(store.store_objects(sess, "fs", items))
+    assert len(receipts) == 30
+    oids = [r.object_id for r in receipts]
+    assert len(set(oids)) == 30
+    for r in receipts:
+        shard = store.shard_of_object(r.object_id)
+        assert shard == store.shard_of_path(r.path)
+        assert store.locate(r.object_id).path == r.path
+
+
+def test_store_fans_out_across_member_libraries():
+    env = Environment()
+    store = make_sharded(env, n_servers=2)
+    sess = store.open_session("fta0")
+    items = [(f"/d/f{i}", 1 * MB) for i in range(40)]
+    env.run(store.store_objects(sess, "fs", items))
+    per_server = [len(s.objects) for s in store.servers]
+    assert sum(per_server) == 40
+    assert all(n > 0 for n in per_server)
+    # both shards used their own tape libraries
+    assert all(s.library.total_mounts >= 1 for s in store.servers)
+
+
+def test_retrieve_across_shards():
+    env = Environment()
+    store = make_sharded(env, n_servers=2)
+    sess = store.open_session("fta0")
+    items = [(f"/d/f{i}", 2 * MB) for i in range(10)]
+
+    def go():
+        receipts = yield store.store_objects(sess, "fs", items)
+        out = yield store.retrieve_objects(sess, [r.object_id for r in receipts])
+        return receipts, out
+
+    receipts, out = env.run(env.process(go()))
+    assert {o.object_id for o in out} == {r.object_id for r in receipts}
+
+
+def test_aggregate_stays_on_one_shard():
+    env = Environment()
+    store = make_sharded(env, n_servers=3)
+    sess = store.open_session("fta0")
+    items = [(f"/agg/f{i}", 1 * MB) for i in range(12)]
+    receipts = env.run(store.store_aggregate(sess, "fs", items))
+    vols = {r.volume for r in receipts}
+    assert len(vols) == 1
+    shards = {store.shard_of_object(r.object_id) for r in receipts}
+    assert len(shards) == 1
+
+
+def test_delete_and_export_union():
+    env = Environment()
+    store = make_sharded(env, n_servers=2)
+    sess = store.open_session("fta0")
+    receipts = env.run(
+        store.store_objects(sess, "fs", [("/a", MB), ("/b", MB), ("/c", MB)])
+    )
+    assert len(store.objects) == 3
+    ok = env.run(store.delete_object(receipts[0].object_id))
+    assert ok
+    assert len(store.objects) == 2
+    rows = list(store.export_rows())
+    assert len(rows) == 2
+
+
+def test_exporter_works_with_sharded_store():
+    env = Environment()
+    store = make_sharded(env, n_servers=2)
+    sess = store.open_session("fta0")
+    env.run(store.store_objects(sess, "fs", [("/a", MB), ("/b", MB)]))
+    db = TapeIndexDB(env)
+    exporter = TsmDbExporter(env, store, db)
+    n = env.run(exporter.run_once())
+    assert n == 2
+    assert db.object_for_path("fs", "/a") is not None
+
+
+def test_shard_scaling_relieves_txn_bottleneck():
+    """§6.4: many small stores saturate one server's transaction engine;
+    two servers double the metadata throughput."""
+
+    def run(n_servers):
+        env = Environment()
+        # huge txn_time so metadata, not tape, is the bottleneck
+        store = make_sharded(env, n_servers=n_servers, n_drives=4,
+                             txn_time=0.5)
+        sess = store.open_session("fta0")
+        items = [(f"/d/f{i}", 100_000) for i in range(60)]
+        env.run(store.store_objects(sess, "fs", items))
+        return env.now
+
+    t1 = run(1)
+    t2 = run(2)
+    assert t2 < t1 * 0.7
+
+
+def test_bad_object_id_rejected():
+    env = Environment()
+    store = make_sharded(env, n_servers=2)
+    with pytest.raises(SimulationError):
+        store.shard_of_object(10**13 + 5)

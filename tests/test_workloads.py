@@ -1,0 +1,145 @@
+"""Tests for workload generation and calibration against the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disksim import DiskArray
+from repro.pfs import GpfsFileSystem, StoragePool
+from repro.sim import Environment, RandomStreams
+from repro.workloads import (
+    JobSpec,
+    PAPER_62_JOBS,
+    generate_open_science_trace,
+    huge_file_campaign,
+    lognormal_sizes,
+    materialize_job,
+    small_file_flood,
+)
+
+
+# ---------------------------------------------------------------------------
+# size distribution
+# ---------------------------------------------------------------------------
+
+def test_lognormal_sizes_hit_requested_mean():
+    rng = RandomStreams(1).stream("t")
+    sizes = lognormal_sizes(rng, 10_000, 50_000_000)
+    assert sizes.mean() == pytest.approx(50_000_000, rel=0.01)
+    assert (sizes >= 1024).all()
+
+
+def test_lognormal_sizes_empty_and_tiny_mean():
+    rng = RandomStreams(1).stream("t")
+    assert len(lognormal_sizes(rng, 0, 1e6)) == 0
+    sizes = lognormal_sizes(rng, 100, 10)  # below min -> clamped
+    assert (sizes >= 1024).all()
+
+
+@given(n=st.integers(1, 2000), mean=st.floats(2e3, 1e9))
+@settings(max_examples=50, deadline=None)
+def test_lognormal_sizes_total_near_target(n, mean):
+    rng = RandomStreams(7).stream("t")
+    sizes = lognormal_sizes(rng, n, mean)
+    target = n * max(mean, 1024)
+    assert sizes.sum() >= 0.8 * target  # min-clamp can only push up
+    assert sizes.sum() <= 1.6 * target
+
+
+# ---------------------------------------------------------------------------
+# open science trace
+# ---------------------------------------------------------------------------
+
+def test_trace_matches_paper_statistics():
+    t = generate_open_science_trace()
+    s = t.summary()
+    P = PAPER_62_JOBS
+    assert s["n_jobs"] == 62
+    # extremes pinned exactly
+    assert s["files_min"] == P["files_min"]
+    assert s["files_max"] == P["files_max"]
+    assert s["bytes_min"] == P["bytes_min"]
+    assert s["bytes_max"] == P["bytes_max"]
+    assert s["mean_size_min"] == pytest.approx(P["mean_size_min"], rel=0.01)
+    assert s["mean_size_max"] == pytest.approx(P["mean_size_max"], rel=0.01)
+    # means close
+    assert s["files_mean"] == pytest.approx(P["files_mean"], rel=0.02)
+    assert s["bytes_mean"] == pytest.approx(P["bytes_mean"], rel=0.02)
+    assert s["mean_size_mean"] == pytest.approx(P["mean_size_mean"], rel=0.10)
+
+
+def test_trace_deterministic_per_seed():
+    a = generate_open_science_trace(seed=5)
+    b = generate_open_science_trace(seed=5)
+    c = generate_open_science_trace(seed=6)
+    assert [(j.n_files, j.total_bytes) for j in a.jobs] == [
+        (j.n_files, j.total_bytes) for j in b.jobs
+    ]
+    assert [(j.n_files, j.total_bytes) for j in a.jobs] != [
+        (j.n_files, j.total_bytes) for j in c.jobs
+    ]
+
+
+def test_jobspec_scaling_preserves_mean_size():
+    job = JobSpec(0, 1_000_000, 8_000_000_000_000)
+    scaled = job.scaled(500)
+    assert scaled.n_files == 500
+    assert scaled.mean_size == pytest.approx(job.mean_size, rel=0.01)
+    small = JobSpec(1, 10, 1000)
+    assert small.scaled(500) is small
+
+
+def test_all_jobs_valid():
+    t = generate_open_science_trace()
+    for j in t.jobs:
+        assert j.n_files >= 1
+        assert j.total_bytes >= j.n_files * 1000  # >= ~1KB files
+        assert j.mean_size <= 4.3e9
+
+
+# ---------------------------------------------------------------------------
+# materialisation
+# ---------------------------------------------------------------------------
+
+def _fs(env):
+    fs = GpfsFileSystem(env, "scratch", metadata_op_time=0.0)
+    arr = DiskArray(env, "a", capacity_bytes=1e16, bandwidth=1e9, seek_time=0.0)
+    fs.add_pool(StoragePool("p", [arr]), default=True)
+    return fs
+
+
+def test_materialize_job_creates_exact_count():
+    env = Environment()
+    fs = _fs(env)
+    job = JobSpec(3, 700, 700 * 10_000_000)
+    info = materialize_job(fs, job, "/job3")
+    assert info["n_files"] == 700
+    assert fs.namespace.n_files == 700
+    assert info["total_bytes"] == pytest.approx(job.total_bytes, rel=0.02)
+    # setup is instantaneous
+    assert env.now == 0.0
+
+
+def test_materialize_spreads_over_directories():
+    env = Environment()
+    fs = _fs(env)
+    materialize_job(fs, JobSpec(1, 600, 600 * 2_000_000), "/j", files_per_dir=100)
+    dirs = [p for p, n in fs.walk("/j") if n.is_dir and p != "/j"]
+    assert len(dirs) == 6
+
+
+def test_small_file_flood():
+    env = Environment()
+    fs = _fs(env)
+    paths = small_file_flood(fs, "/flood", 50, file_size=8_000_000)
+    assert len(paths) == 50
+    assert all(fs.lookup(p).size == 8_000_000 for p in paths)
+
+
+def test_huge_file_campaign():
+    env = Environment()
+    fs = _fs(env)
+    paths = huge_file_campaign(fs, "/huge", 3, file_size=200 * 10**9)
+    assert len(paths) == 3
+    assert fs.pool("p").used_bytes == 600 * 10**9

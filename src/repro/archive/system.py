@@ -21,6 +21,7 @@ from repro.archive.chroot import CommandPolicy
 from repro.archive.deleter import SynchronousDeleter, Trashcan
 from repro.archive.migrator import BalancedMigrator
 from repro.disksim import DiskArray
+from repro.faults import FaultInjector, FaultPlan
 from repro.fusefs import ArchiveFuseFS
 from repro.hsm import HsmManager
 from repro.netsim.topology import ArchiveSiteTopology, build_archive_site
@@ -190,6 +191,21 @@ class ParallelArchiveSystem:
                 self.overwrite_orphans.append(stale) if stale is not None else None
             )
         )
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm *plan* against this site's library, TSM server and both
+        file systems; returns the armed :class:`FaultInjector` (its
+        ``injected`` dict reports what actually fired)."""
+        return FaultInjector(
+            self.env,
+            plan,
+            library=self.library,
+            tsm=self.tsm,
+            filesystems=(self.archive_fs, self.scratch_fs),
+        ).arm()
 
     # ------------------------------------------------------------------
     # PFTool entry points (jail-approved commands)

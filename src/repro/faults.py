@@ -1,0 +1,351 @@
+"""Deterministic fault injection for archive-system experiments.
+
+The paper's operational story is that the archive keeps moving data when
+parts misbehave: the WatchDog exists to kill stalled jobs (§4.1.1) and
+restartable chunked transfers exist because multi-hour jobs fail.  This
+module supplies the *misbehaving parts*: a :class:`FaultPlan` describes
+seeded, reproducible faults — tape-drive failures, transient TSM
+retrieve errors, FTA-node outages and transient filesystem errors — and
+a :class:`FaultInjector` arms the plan against a running site by
+scheduling drive fail/repair processes and installing fault hooks on the
+TSM server and file systems.
+
+Determinism: probabilistic faults draw from named
+:class:`~repro.sim.rng.RandomStreams` streams derived from the plan's
+seed, so a given (plan, workload) pair always injects the same faults at
+the same points — a prerequisite for debugging recovery logic.
+
+Failure taxonomy
+----------------
+Every injected (or hardware-model) error is classified into a short
+``fault_class`` string used by PFTool's retry accounting:
+
+==========  ===========================================================
+class       meaning
+==========  ===========================================================
+``drive``   tape drive hardware fault (:class:`DriveFault`)
+``tsm``     TSM server retrieve/store error (:class:`TsmFault`)
+``fs``      transient parallel-file-system I/O error
+``node``    FTA node outage window (data ops from that node fail)
+``path``    namespace error (missing/changed file)
+``io``      any other simulation-level I/O error
+==========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.sim import Environment, RandomStreams, SimulationError
+
+__all__ = [
+    "DriveFault",
+    "DriveOutage",
+    "ErrorBurst",
+    "FailureRecord",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeOutage",
+    "NodeOutageFault",
+    "TransientIOFault",
+    "TsmFault",
+    "classify_failure",
+]
+
+
+# ----------------------------------------------------------------------
+# exception taxonomy
+# ----------------------------------------------------------------------
+class FaultError(SimulationError):
+    """Base of all classified faults; ``fault_class`` feeds JobStats."""
+
+    fault_class = "fault"
+
+
+class DriveFault(FaultError):
+    """A tape drive refused an operation because its hardware failed."""
+
+    fault_class = "drive"
+
+
+class TsmFault(FaultError):
+    """The TSM server errored a retrieve/store transaction."""
+
+    fault_class = "tsm"
+
+
+class TransientIOFault(FaultError):
+    """A transient parallel-file-system I/O error (EIO-style)."""
+
+    fault_class = "fs"
+
+
+class NodeOutageFault(FaultError):
+    """An FTA node is down; data operations from it fail."""
+
+    fault_class = "node"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to its retry-accounting class."""
+    if isinstance(exc, FaultError):
+        return exc.fault_class
+    # PathError subclasses SimulationError in some layers; sniff by name to
+    # avoid importing repro.pfs here (faults must stay dependency-light).
+    if type(exc).__name__ == "PathError":
+        return "path"
+    if isinstance(exc, SimulationError):
+        return "io"
+    return "error"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One structured failure carried inside a rank's *Result message."""
+
+    path: str
+    fault_class: str
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# plan entries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DriveOutage:
+    """Fail *drive* at sim time *at*; repair it *repair_after* seconds
+    later (None = never repaired)."""
+
+    at: float
+    drive: str
+    repair_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """FTA node *node* is down during ``[start, start + duration)``."""
+
+    node: str
+    start: float
+    duration: float
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ErrorBurst:
+    """Probabilistic transient errors against one subsystem.
+
+    Each eligible operation fails independently with probability *rate*
+    until *max_failures* have been injected (bounding the burst keeps
+    jobs completable) within the ``[start, until)`` window.
+    """
+
+    subsystem: str  # 'tsm' | 'fs'
+    rate: float
+    max_failures: int
+    start: float = 0.0
+    until: float = float("inf")
+    #: restrict fs errors to one op kind ('read'/'write'/'create'/'stat')
+    op: Optional[str] = None
+    #: restrict fs errors to paths containing this substring
+    path_contains: Optional[str] = None
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.until
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+class FaultPlan:
+    """A reproducible schedule of faults (builder-style, chainable).
+
+    >>> plan = (FaultPlan(seed=7)
+    ...         .drive_failure(at=120.0, drive="drv00", repair_after=90.0)
+    ...         .tsm_retrieve_errors(rate=0.3, max_failures=4)
+    ...         .fs_errors(rate=0.1, max_failures=2, op="write"))
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.drive_outages: list[DriveOutage] = []
+        self.node_outages: list[NodeOutage] = []
+        self.tsm_bursts: list[ErrorBurst] = []
+        self.fs_bursts: list[ErrorBurst] = []
+
+    def drive_failure(
+        self, at: float, drive: str, repair_after: Optional[float] = None
+    ) -> "FaultPlan":
+        self.drive_outages.append(DriveOutage(at, drive, repair_after))
+        return self
+
+    def node_outage(self, node: str, start: float, duration: float) -> "FaultPlan":
+        self.node_outages.append(NodeOutage(node, start, duration))
+        return self
+
+    def tsm_retrieve_errors(
+        self,
+        rate: float,
+        max_failures: int,
+        start: float = 0.0,
+        until: float = float("inf"),
+    ) -> "FaultPlan":
+        self.tsm_bursts.append(ErrorBurst("tsm", rate, max_failures, start, until))
+        return self
+
+    def fs_errors(
+        self,
+        rate: float,
+        max_failures: int,
+        op: Optional[str] = None,
+        path_contains: Optional[str] = None,
+        start: float = 0.0,
+        until: float = float("inf"),
+    ) -> "FaultPlan":
+        self.fs_bursts.append(
+            ErrorBurst("fs", rate, max_failures, start, until, op, path_contains)
+        )
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultPlan seed={self.seed} drives={len(self.drive_outages)} "
+            f"nodes={len(self.node_outages)} tsm={len(self.tsm_bursts)} "
+            f"fs={len(self.fs_bursts)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# the injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against live subsystem instances.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    plan:
+        The fault schedule.
+    library:
+        Tape library for drive fail/repair scheduling (optional).
+    tsm:
+        TSM server whose ``fault_hook`` receives retrieve checks
+        (optional).
+    filesystems:
+        File systems whose ``fault_hook`` receives data-op checks; node
+        outages are enforced here too, by client-node match (optional).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        library=None,
+        tsm=None,
+        filesystems: Sequence = (),
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.library = library
+        self.tsm = tsm
+        self.filesystems = list(filesystems)
+        self.streams = RandomStreams(plan.seed)
+        #: fault_class -> number of faults actually injected
+        self.injected: dict[str, int] = {}
+        self._burst_counts: dict[int, int] = {}
+        self._armed = False
+
+    # -- bookkeeping ---------------------------------------------------
+    def _record(self, fault_class: str) -> None:
+        self.injected[fault_class] = self.injected.get(fault_class, 0) + 1
+
+    def _burst_fires(self, burst: ErrorBurst, stream_name: str) -> bool:
+        """Draw the burst's coin; honour its window and failure budget."""
+        if not burst.active(self.env.now):
+            return False
+        key = id(burst)
+        if self._burst_counts.get(key, 0) >= burst.max_failures:
+            return False
+        if self.streams.stream(stream_name).random() >= burst.rate:
+            return False
+        self._burst_counts[key] = self._burst_counts.get(key, 0) + 1
+        return True
+
+    # -- hooks ---------------------------------------------------------
+    def _tsm_hook(self, op: str, object_id) -> Optional[BaseException]:
+        if op != "retrieve":
+            return None
+        for burst in self.plan.tsm_bursts:
+            if self._burst_fires(burst, "faults.tsm"):
+                self._record("tsm")
+                return TsmFault(
+                    f"injected retrieve error for object {object_id} "
+                    f"at t={self.env.now:.1f}"
+                )
+        return None
+
+    def _fs_hook(self, op: str, client: Optional[str], path: str):
+        if client is not None:
+            for outage in self.plan.node_outages:
+                if outage.node == client and outage.covers(self.env.now):
+                    self._record("node")
+                    return NodeOutageFault(
+                        f"node {client} down (t={self.env.now:.1f}) for {op} {path}"
+                    )
+        for burst in self.plan.fs_bursts:
+            if burst.op is not None and burst.op != op:
+                continue
+            if burst.path_contains is not None and burst.path_contains not in path:
+                continue
+            if self._burst_fires(burst, "faults.fs"):
+                self._record("fs")
+                return TransientIOFault(
+                    f"injected {op} error on {path} at t={self.env.now:.1f}"
+                )
+        return None
+
+    # -- arming ----------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Install hooks and schedule drive fail/repair processes."""
+        if self._armed:
+            return self
+        self._armed = True
+        if self.library is not None:
+            for outage in self.plan.drive_outages:
+                self.env.process(
+                    self._drive_proc(outage), name=f"fault-{outage.drive}"
+                )
+        if self.tsm is not None:
+            self.tsm.fault_hook = _chain(self.tsm.fault_hook, self._tsm_hook)
+        for fs in self.filesystems:
+            fs.fault_hook = _chain(fs.fault_hook, self._fs_hook)
+        return self
+
+    def _drive_proc(self, outage: DriveOutage) -> Iterable:
+        if outage.at > 0:
+            yield self.env.timeout(outage.at)
+        self.library.fail_drive(outage.drive)
+        self._record("drive")
+        if outage.repair_after is not None:
+            yield self.env.timeout(outage.repair_after)
+            self.library.repair_drive(outage.drive)
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector armed={self._armed} injected={self.injected}>"
+
+
+def _chain(existing: Optional[Callable], new: Callable) -> Callable:
+    """Compose fault hooks: first non-None verdict wins."""
+    if existing is None:
+        return new
+
+    def chained(*args):
+        exc = existing(*args)
+        return exc if exc is not None else new(*args)
+
+    return chained

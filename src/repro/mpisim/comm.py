@@ -8,7 +8,10 @@ Semantics (the subset of MPI that PFTool uses):
   matching message is available; returns the :class:`Message`.
   Matching is FIFO among eligible messages (MPI ordering guarantee per
   (source, tag) pair is preserved because each pair's messages keep
-  their relative order in the mailbox).
+  their relative order in the mailbox).  The returned event is a
+  :class:`~repro.sim.StoreGet`: a rank that races a receive against a
+  timer and loses MUST call ``.cancel()`` on it — an abandoned-but-live
+  receive would silently consume the next matching message.
 * no rendezvous / ready modes — PFTool only posts small control
   messages; bulk data rides the fabric, not the communicator.
 """
@@ -18,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.sim import Environment, Event, FilterStore, SimulationError
+from repro.sim import Environment, FilterStore, SimulationError, StoreGet
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "SimComm"]
 
@@ -83,8 +86,12 @@ class SimComm:
 
     def recv(
         self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG
-    ) -> Event:
-        """Blocking receive; event fires with a :class:`Message`."""
+    ) -> StoreGet:
+        """Blocking receive; event fires with a :class:`Message`.
+
+        Call ``.cancel()`` on the returned event to withdraw an unused
+        receive (e.g. when a watchdog timer won the race instead).
+        """
         self._check_rank(rank)
 
         def _match(msg: Message) -> bool:

@@ -83,10 +83,17 @@ class GpfsFileSystem:
         #: observers of destructive ops
         self.on_unlink: list[Callable[[str, Inode], None]] = []
         self.on_overwrite: list[Callable[[str, Inode, Optional[int]], None]] = []
+        #: fault-injection hook, called as ``hook(op, client, path)`` at
+        #: the start of every timed data op; a returned exception fails
+        #: the op's event (see :mod:`repro.faults`)
+        self.fault_hook: Optional[
+            Callable[[str, str, str], Optional[BaseException]]
+        ] = None
         # counters
         self.bytes_written = 0.0
         self.bytes_read = 0.0
         self.recalls_triggered = 0
+        self.faults_injected = 0
 
     # ------------------------------------------------------------------
     # pools
@@ -133,6 +140,20 @@ class GpfsFileSystem:
         return self.namespace.rename(src, dst)
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _injected_fault(
+        self, op: str, client: str, path: str
+    ) -> Optional[BaseException]:
+        """Ask the hook whether this op should fail; count if so."""
+        if self.fault_hook is None:
+            return None
+        exc = self.fault_hook(op, client, path)
+        if exc is not None:
+            self.faults_injected += 1
+        return exc
+
+    # ------------------------------------------------------------------
     # timed metadata ops
     # ------------------------------------------------------------------
     def stat_op(self, path: str) -> Event:
@@ -142,6 +163,10 @@ class GpfsFileSystem:
         def _proc():
             if self.metadata_op_time:
                 yield self.env.timeout(self.metadata_op_time)
+            exc = self._injected_fault("stat", "", path)
+            if exc is not None:
+                done.fail(exc)
+                return
             try:
                 done.succeed(self.namespace.lookup(path))
             except PathError as exc:
@@ -201,6 +226,10 @@ class GpfsFileSystem:
         def _proc():
             if self.metadata_op_time:
                 yield self.env.timeout(self.metadata_op_time)
+            exc = self._injected_fault("write", client, path)
+            if exc is not None:
+                done.fail(exc)
+                return
             try:
                 inode = self.namespace.lookup(path)
                 if inode.is_dir:
@@ -243,6 +272,10 @@ class GpfsFileSystem:
         def _proc():
             if self.metadata_op_time:
                 yield self.env.timeout(self.metadata_op_time)
+            fault = self._injected_fault("read", client, path)
+            if fault is not None:
+                done.fail(fault)
+                return
             try:
                 inode = self.namespace.lookup(path)
             except PathError as exc:
@@ -340,6 +373,10 @@ class GpfsFileSystem:
         def _proc():
             if self.metadata_op_time:
                 yield self.env.timeout(self.metadata_op_time)
+            exc = self._injected_fault("create", "", path)
+            if exc is not None:
+                done.fail(exc)
+                return
             try:
                 inode = self.namespace.lookup(path)
                 if inode.is_dir:
@@ -392,6 +429,10 @@ class GpfsFileSystem:
         done = self.env.event()
 
         def _proc():
+            fault = self._injected_fault("write" if write else "read", client, path)
+            if fault is not None:
+                done.fail(fault)
+                return
             try:
                 inode = self.namespace.lookup(path)
             except PathError as exc:

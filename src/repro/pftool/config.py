@@ -59,6 +59,13 @@ class PftoolConfig:
     stall_timeout: float = 3600.0
     #: simulated cost of one readdir entry (getdents amortised)
     readdir_entry_cost: float = 20e-6
+    #: retry attempts per failed work unit before it counts as a
+    #: permanent failure (0 disables recovery)
+    retry_limit: int = 3
+    #: backoff before the first retry, seconds; doubles per attempt
+    retry_backoff: float = 1.0
+    #: ceiling on the exponential backoff delay
+    retry_backoff_max: float = 60.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -71,6 +78,10 @@ class PftoolConfig:
             raise SimulationError("chunk sizes must be positive")
         if self.stat_batch < 1 or self.copy_batch < 1:
             raise SimulationError("batch sizes must be positive")
+        if self.retry_limit < 0:
+            raise SimulationError("retry_limit must be non-negative")
+        if self.retry_backoff < 0 or self.retry_backoff_max < 0:
+            raise SimulationError("retry backoffs must be non-negative")
 
     @property
     def total_ranks(self) -> int:

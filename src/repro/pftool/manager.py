@@ -15,22 +15,27 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
+from repro.faults import FailureRecord
 from repro.mpisim import SimComm
 from repro.pfs import PathError
 from repro.pftool.config import PftoolConfig, RuntimeContext
 from repro.pftool.messages import (
     CompareJob,
     CompareResult,
+    ContainerDst,
     CopyJob,
     CopyResult,
     DirJob,
     DirResult,
     Exit,
     FileSpec,
+    FuseChunkDst,
+    Retry,
     StatJob,
     StatResult,
     TAG_JOB,
     TAG_OUTPUT,
+    TAG_RETRY,
     TAG_TAPEINFO,
     TapeJob,
     TapeResult,
@@ -43,6 +48,10 @@ __all__ = ["Abort", "Manager"]
 
 #: cap on retained pfls output lines (the rest are counted, not stored)
 MAX_OUTPUT_LINES = 10_000
+
+#: failure classes worth retrying — namespace ('path') errors are
+#: deterministic and requeueing them only delays the permanent verdict
+NON_RETRYABLE_CLASSES = frozenset({"path"})
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,13 @@ class Manager:
         #: 'du' op: subtree -> [files, bytes]
         self.du_totals: dict[str, list[int]] = {}
         self.aborting = False
+        # -- failure recovery -------------------------------------------
+        #: work-unit key -> retry attempts spent so far
+        self.retry_counts: dict[tuple, int] = {}
+        #: retries scheduled (backoff running) but not yet requeued
+        self.pending_retries = 0
+        #: destination paths already counted in ``stats.files_failed``
+        self.failed_files: set[str] = set()
 
     # ------------------------------------------------------------------
     # path mapping
@@ -153,6 +169,8 @@ class Manager:
                 break
             elif msg.tag == TAG_TAPEINFO:
                 self._on_tape_info(payload)
+            elif isinstance(payload, Retry):
+                self._on_retry(payload)
             elif isinstance(payload, DirResult):
                 self._on_dir_result(payload)
             elif isinstance(payload, StatResult):
@@ -234,11 +252,67 @@ class Manager:
             and self.out_copy == 0
             and self.out_tape == 0
             and self.pending_lookups == 0
+            and self.pending_retries == 0
             and not self.waiting_chunks
             and not self.tape_buffer
             and not self.parked_container_jobs
             and not self.pending_small
             and not self.pending_compare
+        )
+
+    # ------------------------------------------------------------------
+    # failure recovery (retry with capped exponential backoff)
+    # ------------------------------------------------------------------
+    def _count_retry(self, key: tuple, fault_class: str) -> bool:
+        """Reserve one retry attempt for *key*; False = give up."""
+        if fault_class in NON_RETRYABLE_CLASSES or self.cfg.retry_limit == 0:
+            return False
+        attempts = self.retry_counts.get(key, 0)
+        if attempts >= self.cfg.retry_limit:
+            return False
+        self.retry_counts[key] = attempts + 1
+        by_class = self.stats.retries_by_class
+        by_class[fault_class] = by_class.get(fault_class, 0) + 1
+        return True
+
+    def _retry_delay(self, key: tuple) -> float:
+        attempt = self.retry_counts.get(key, 1)
+        return min(
+            self.cfg.retry_backoff * (2 ** (attempt - 1)),
+            self.cfg.retry_backoff_max,
+        )
+
+    def _schedule_retry(self, kind: str, payload, delay: float) -> None:
+        """Requeue a failed unit after *delay* via a TAG_RETRY message
+        (the Manager only ever mutates queues from its own loop)."""
+        self.pending_retries += 1
+        comm, env = self.comm, self.env
+
+        def _later():
+            yield env.timeout(delay)
+            comm.send(0, 0, Retry(kind, payload), TAG_RETRY)
+
+        env.process(_later(), name=f"pftool-retry-{kind}")
+
+    def _on_retry(self, retry: Retry) -> None:
+        self.pending_retries -= 1
+        if retry.kind == "copy":
+            # Requeue directly: the waiting_chunks / created_dsts
+            # bookkeeping for this job was done on first enqueue.
+            self.copy_q.append(retry.payload)
+        else:  # 'tape'
+            volume, entry = retry.payload
+            self.tape_q.append(TapeJob(volume, (entry,)))
+
+    def _permanent_failure(self, dst: str, record: FailureRecord) -> None:
+        """Account one file that recovery gave up on (at most once)."""
+        by_class = self.stats.failures_by_class
+        by_class[record.fault_class] = by_class.get(record.fault_class, 0) + 1
+        if dst not in self.failed_files:
+            self.failed_files.add(dst)
+            self.stats.files_failed += 1
+        self._emit(
+            f"FAILED [{record.fault_class}] {record.path}: {record.detail}"
         )
 
     # ------------------------------------------------------------------
@@ -323,7 +397,7 @@ class Manager:
             if not parked:  # first member: queue ONE recall of the container
                 self.tape_buffer.append(
                     (container, cnode.tsm_object_id, cnode.size,
-                     f"##container##{container}")
+                     ContainerDst(container))
                 )
             parked.append(job)
             return
@@ -340,7 +414,8 @@ class Manager:
             return False
         done_ranges = dnode.xattrs.get("__chunks_done__")
         if done_ranges is not None:
-            covered = sum(l for _, l in done_ranges)
+            # dedupe: a re-delivered retry may have recorded a range twice
+            covered = sum(l for _, l in set(map(tuple, done_ranges)))
             return covered >= spec.size
         return True
 
@@ -423,7 +498,7 @@ class Manager:
             if cnode.is_stub:
                 self.tape_buffer.append(
                     (ref.path, cnode.tsm_object_id, ref.length,
-                     f"{dst}@@{ref.offset}@@{size}@@{spec.path}")
+                     FuseChunkDst(dst, ref.offset, size, spec.path))
                 )
             else:
                 self._enqueue_chunk_job(
@@ -506,29 +581,59 @@ class Manager:
             self.stats.tape_files_restored += 1
             self.stats.tape_bytes_restored += nbytes
             # "additional restored tape file copy request" -> Workers.
-            if dst.startswith("##container##"):
-                container = dst[len("##container##"):]
-                for job in self.parked_container_jobs.pop(container, []):
+            # The dst is matched structurally — a real path containing
+            # '##container##' or '@@' is just a path.
+            if isinstance(dst, ContainerDst):
+                for job in self.parked_container_jobs.pop(dst.container, []):
                     self._enqueue_chunk_job(job, job.chunk_of[1])
-                continue
-            if "@@" in dst:
-                real_dst, off, total, token_src = dst.split("@@")
+            elif isinstance(dst, FuseChunkDst):
                 self._enqueue_chunk_job(
                     CopyJob(
-                        chunk_of=(archive_path, real_dst, int(total)),
-                        offset=int(off),
+                        chunk_of=(archive_path, dst.dst, dst.total),
+                        offset=dst.offset,
                         length=nbytes,
                         src_offset=0,
-                        token_src=token_src,
+                        token_src=dst.token_src,
                     ),
-                    real_dst,
+                    dst.dst,
                 )
             else:
                 self._enqueue_data_copy(archive_path, dst, nbytes)
+        for entry, record in res.failed:
+            path, oid, _seq, _nbytes, dst = entry
+            key = ("tape", path, oid)
+            if self._count_retry(key, record.fault_class):
+                self._schedule_retry(
+                    "tape", (res.volume, entry), self._retry_delay(key)
+                )
+                continue
+            self._permanent_tape_failure(entry, record)
+
+    def _permanent_tape_failure(self, entry: tuple, record: FailureRecord) -> None:
+        """A tape restore is out of retries; fail every file that depended
+        on it so no queue entry waits forever."""
+        path, _oid, _seq, _nbytes, dst = entry
+        if isinstance(dst, ContainerDst):
+            # every member parked behind the container is now unrecoverable
+            parked = self.parked_container_jobs.pop(dst.container, [])
+            self._permanent_failure(dst.container, record)
+            for job in parked:
+                self._permanent_failure(job.chunk_of[1], record)
+        elif isinstance(dst, FuseChunkDst):
+            self._permanent_failure(dst.dst, record)
+        else:
+            self._permanent_failure(dst, record)
 
     def _on_copy_result(self, res: CopyResult) -> None:
         self.out_copy -= 1
-        self.stats.files_failed += len(res.failed)
+        if res.error is not None:
+            self._recover_chunk_failure(res)
+            return
+        if res.failures:
+            self._recover_batch_failures(res)
+        else:
+            # legacy path: unstructured failures cannot be retried
+            self.stats.files_failed += len(res.failed)
         self.stats.bytes_copied += res.bytes_moved
         if res.chunk_of is not None:
             src, dst, total = res.chunk_of
@@ -537,11 +642,20 @@ class Manager:
                 self.created_dsts.add(dst)
                 if dst in self.waiting_chunks:
                     self.copy_q.extend(self.waiting_chunks.pop(dst))
-            # completion accounting per chunked file
+            # Completion accounting per chunked file.  A retried chunk can
+            # be delivered more than once (e.g. the work succeeded but a
+            # later failure re-ran it), so count each range once and credit
+            # the file exactly when coverage crosses the total.
             dnode = self.ctx.dst_fs.lookup(dst)
             ranges = dnode.xattrs.setdefault("__chunks_done__", [])
-            ranges.append((res.offset, res.length))
-            if sum(l for _, l in ranges) >= total:
+            distinct = set(map(tuple, ranges))
+            before = sum(l for _, l in distinct)
+            rng = (res.offset, res.length)
+            if rng not in distinct:
+                ranges.append(rng)
+                distinct.add(rng)
+            covered = sum(l for _, l in distinct)
+            if before < total <= covered:
                 self.stats.files_copied += 1
                 try:
                     token_path = res.token_src or src
@@ -551,6 +665,44 @@ class Manager:
                     pass
         else:
             self.stats.files_copied += res.files_done
+
+    def _recover_chunk_failure(self, res: CopyResult) -> None:
+        """A chunk (or fuse-chunk) CopyJob died: retry it, or give up and
+        unwedge everything parked behind it."""
+        src, dst, total = res.chunk_of
+        job = res.job
+        key = (
+            "chunk", dst, res.offset, res.length,
+            job.fuse_index if job is not None else None,
+        )
+        if job is not None and self._count_retry(key, res.error.fault_class):
+            self._schedule_retry("copy", job, self._retry_delay(key))
+            return
+        self._permanent_failure(dst, res.error)
+        if job is not None and job.create and not res.created:
+            # The provisioning chunk never created the destination, so the
+            # parked sibling chunks can never run — drop them with the file
+            # instead of leaking them in waiting_chunks forever.
+            self.waiting_chunks.pop(dst, None)
+
+    def _recover_batch_failures(self, res: CopyResult) -> None:
+        """Per-file retry accounting for a small-file batch (packed or
+        not); surviving specs are requeued as one new batch."""
+        retry_specs = []
+        for spec, record in zip(res.failed_specs, res.failures):
+            s, d, _ = spec
+            if self._count_retry(("file", s, d), record.fault_class):
+                retry_specs.append(spec)
+            else:
+                self._permanent_failure(d, record)
+        if retry_specs:
+            pack = res.job.pack if res.job is not None else False
+            key = ("file",) + retry_specs[0][:2]
+            self._schedule_retry(
+                "copy",
+                CopyJob(files=tuple(retry_specs), pack=pack),
+                self._retry_delay(key),
+            )
 
     def _on_compare_result(self, res: CompareResult) -> None:
         self.out_copy -= 1

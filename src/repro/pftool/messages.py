@@ -7,29 +7,37 @@ Tag space::
     TAG_RESULT     proc -> manager   a *Result payload
     TAG_OUTPUT     any -> OutPutProc text line
     TAG_TAPEINFO   helper -> manager tape locations arrived
+    TAG_RETRY      helper -> manager a backed-off Retry is due
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Union
+
+from repro.faults import FailureRecord
 
 __all__ = [
     "CompareJob",
     "CompareResult",
+    "ContainerDst",
     "CopyJob",
     "CopyResult",
     "DirJob",
     "DirResult",
     "Exit",
     "FileSpec",
+    "FuseChunkDst",
+    "Retry",
     "StatJob",
     "StatResult",
     "TAG_JOB",
     "TAG_OUTPUT",
     "TAG_RESULT",
+    "TAG_RETRY",
     "TAG_TAPEINFO",
     "TAG_WORK_REQ",
+    "TapeDst",
     "TapeJob",
     "TapeResult",
     "WorkRequest",
@@ -40,6 +48,7 @@ TAG_JOB = 2
 TAG_RESULT = 3
 TAG_OUTPUT = 4
 TAG_TAPEINFO = 5
+TAG_RETRY = 6
 
 
 @dataclass(frozen=True)
@@ -136,6 +145,15 @@ class CopyResult:
     created: bool = False
     failed: tuple[str, ...] = ()
     token_src: Optional[str] = None
+    #: per-failed-file (src, dst, nbytes) specs, parallel to ``failures``
+    #: — lets the Manager rebuild a retry batch
+    failed_specs: tuple[tuple[str, str, int], ...] = ()
+    #: structured failure records, parallel to ``failed_specs``
+    failures: tuple[FailureRecord, ...] = ()
+    #: set when the whole job died (chunk copy / packed batch): the
+    #: failure that killed it, plus the original job for requeueing
+    error: Optional[FailureRecord] = None
+    job: Optional[CopyJob] = None
 
 
 @dataclass(frozen=True)
@@ -151,17 +169,64 @@ class CompareResult:
 
 
 @dataclass(frozen=True)
+class ContainerDst:
+    """Tape destination marker: the restored object is a §7 container
+    whose parked member jobs should be released, not a real file path.
+
+    Replaces the old ``"##container##<path>"`` string sentinel, which
+    broke for real paths containing that substring.
+    """
+
+    container: str
+
+
+@dataclass(frozen=True)
+class FuseChunkDst:
+    """Tape destination marker: the restored object is one ArchiveFUSE
+    chunk that lands at ``offset`` inside ``dst`` (logical size
+    ``total``), taking its content token from ``token_src``.
+
+    Replaces the old ``"<dst>@@<off>@@<total>@@<src>"`` string sentinel,
+    which broke for real paths containing ``@@``.
+    """
+
+    dst: str
+    offset: int
+    total: int
+    token_src: str
+
+
+#: a tape entry's destination: a plain scratch path, or a structured marker
+TapeDst = Union[str, ContainerDst, FuseChunkDst]
+
+
+@dataclass(frozen=True)
 class TapeJob:
     """Restore a run of objects from one volume, in tape order.
 
-    entries: (archive_path, object_id, seq, nbytes, scratch_dst)
+    entries: (archive_path, object_id, seq, nbytes, dst) where *dst* is
+    a :data:`TapeDst`.
     """
 
     volume: str
-    entries: tuple[tuple[str, int, int, int, str], ...]
+    entries: tuple[tuple[str, int, int, int, Any], ...]
 
 
 @dataclass(frozen=True)
 class TapeResult:
     volume: str
-    restored: tuple[tuple[str, int, str], ...]  # (archive_path, nbytes, dst)
+    restored: tuple[tuple[str, int, Any], ...]  # (archive_path, nbytes, dst)
+    #: entries that errored: (full TapeJob entry, failure record)
+    failed: tuple[tuple[tuple, FailureRecord], ...] = ()
+
+
+@dataclass(frozen=True)
+class Retry:
+    """A backed-off work unit coming due (helper -> manager, TAG_RETRY).
+
+    *kind* is 'copy' (payload: CopyJob) or 'tape' (payload: (volume,
+    TapeJob entry)).
+    """
+
+    kind: str
+    payload: Any

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional
 
+from repro.faults import FailureRecord, classify_failure
 from repro.pfs import PathError
 from repro.pftool.config import PftoolConfig, RuntimeContext
 from repro.pftool.manager import Abort
@@ -119,20 +120,58 @@ def worker_proc(
                 )
             comm.send(rank, 0, StatResult(tuple(specs)), TAG_RESULT)
         elif isinstance(job, CopyJob):
-            result = yield env.process(
-                _do_copy(env, node, cfg, ctx, job), name=f"w{rank}-copy"
-            )
+            try:
+                result = yield env.process(
+                    _do_copy(env, node, cfg, ctx, job), name=f"w{rank}-copy"
+                )
+            except (PathError, SimulationError) as exc:
+                # The copy died, the worker must not: report the failure so
+                # the Manager's out_copy counter always drains (a crashed
+                # worker would wedge completion detection forever).
+                result = _copy_failure(job, exc)
             comm.send(rank, 0, result, TAG_RESULT)
         elif isinstance(job, CompareJob):
-            result = yield env.process(
-                _do_compare(env, node, ctx, job), name=f"w{rank}-cmp"
-            )
+            try:
+                result = yield env.process(
+                    _do_compare(env, node, ctx, job), name=f"w{rank}-cmp"
+                )
+            except (PathError, SimulationError):
+                result = CompareResult(
+                    len(job.files), 0, tuple(s for s, _, _ in job.files)
+                )
             comm.send(rank, 0, result, TAG_RESULT)
         else:  # pragma: no cover
             raise RuntimeError(f"worker got unexpected {job!r}")
 
 
 _pack_seq = itertools.count(1)
+
+
+def _copy_failure(job: CopyJob, exc: BaseException) -> CopyResult:
+    """A CopyResult describing a CopyJob that died wholesale."""
+    if job.chunk_of is not None:
+        record = FailureRecord(
+            job.chunk_of[0], classify_failure(exc), str(exc)
+        )
+        return CopyResult(
+            0, 0,
+            chunk_of=job.chunk_of,
+            offset=job.offset,
+            length=job.length,
+            token_src=job.token_src,
+            error=record,
+            job=job,
+        )
+    records = tuple(
+        FailureRecord(s, classify_failure(exc), str(exc)) for s, _, _ in job.files
+    )
+    return CopyResult(
+        0, 0,
+        failed=tuple(s for s, _, _ in job.files),
+        failed_specs=job.files,
+        failures=records,
+        job=job,
+    )
 
 
 def _do_copy(env, node, cfg, ctx, job: CopyJob):
@@ -144,6 +183,8 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
         files_done = 0
         nbytes = 0
         failed = []
+        failed_specs = []
+        failures = []
         for s, d, n in job.files:
             try:
                 token = src_fs.lookup(s).content_token
@@ -155,9 +196,19 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
                 dst_fs.set_token(d, token)
                 files_done += 1
                 nbytes += n
-            except (PathError, SimulationError):
+            except (PathError, SimulationError) as exc:
                 failed.append(s)
-        return CopyResult(files_done, nbytes, failed=tuple(failed))
+                failed_specs.append((s, d, n))
+                failures.append(
+                    FailureRecord(s, classify_failure(exc), str(exc))
+                )
+        return CopyResult(
+            files_done, nbytes,
+            failed=tuple(failed),
+            failed_specs=tuple(failed_specs),
+            failures=tuple(failures),
+            job=job,
+        )
 
     s, d, total = job.chunk_of
     created = False
@@ -206,11 +257,15 @@ def _do_packed_copy(env, node, cfg, ctx, job: CopyJob):
         yield env.timeout(dst_fs.metadata_op_time)
     offset = 0
     failed = []
+    failed_specs = []
+    failures = []
     for s, d, n in job.files:
         try:
             token = src_fs.lookup(s).content_token
-        except PathError:
+        except PathError as exc:
             failed.append(s)
+            failed_specs.append((s, d, n))
+            failures.append(FailureRecord(s, classify_failure(exc), str(exc)))
             offset += n
             continue
         try:
@@ -225,7 +280,11 @@ def _do_packed_copy(env, node, cfg, ctx, job: CopyJob):
         member.xattrs["__packed_in__"] = (container, offset)
         offset += n
     return CopyResult(
-        len(job.files) - len(failed), total, failed=tuple(failed)
+        len(job.files) - len(failed), total,
+        failed=tuple(failed),
+        failed_specs=tuple(failed_specs),
+        failures=tuple(failures),
+        job=job,
     )
 
 
@@ -265,13 +324,27 @@ def tape_proc(
             return
         assert isinstance(job, TapeJob)
         restored = []
-        for path, oid, seq, nbytes, dst in job.entries:
-            retrieve = ctx.tsm.retrieve_objects(session, [oid])
-            ctx.src_fs.restore_data(path)
-            writeback = ctx.src_fs.write_range(node, path, 0, nbytes)
-            yield AllOf(env, [retrieve, writeback])
+        failed = []
+        for entry in job.entries:
+            path, oid, seq, nbytes, dst = entry
+            try:
+                retrieve = ctx.tsm.retrieve_objects(session, [oid])
+                ctx.src_fs.restore_data(path)
+                writeback = ctx.src_fs.write_range(node, path, 0, nbytes)
+                yield AllOf(env, [retrieve, writeback])
+            except (PathError, SimulationError) as exc:
+                # one bad entry must not kill the volume run — later
+                # entries may live on healthy media
+                failed.append(
+                    (entry, FailureRecord(path, classify_failure(exc), str(exc)))
+                )
+                continue
             restored.append((path, nbytes, dst))
-        comm.send(rank, 0, TapeResult(job.volume, tuple(restored)), TAG_RESULT)
+        comm.send(
+            rank, 0,
+            TapeResult(job.volume, tuple(restored), tuple(failed)),
+            TAG_RESULT,
+        )
 
 
 def output_proc(
@@ -311,8 +384,11 @@ def watchdog_proc(
             if isinstance(incoming.value.payload, Exit):
                 return
         else:
-            # Withdraw the unused receive so the mailbox stays clean.
-            incoming.callbacks = None
+            # Withdraw the unused receive eagerly.  Merely dropping the
+            # callbacks would leave a live get in the mailbox queue that
+            # silently swallows the next message — including Exit, leaving
+            # the watchdog running (and aborting) after the job finished.
+            incoming.cancel()
         files = stats.files_copied + stats.tape_files_restored
         nbytes = stats.bytes_copied + stats.tape_bytes_restored
         stats.watchdog_history.append(

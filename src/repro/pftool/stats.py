@@ -46,6 +46,10 @@ class JobStats:
     fuse_files: int = 0
     aborted: bool = False
     abort_reason: str = ""
+    #: requeued work units per failure class ('drive', 'tsm', 'fs', ...)
+    retries_by_class: dict[str, int] = field(default_factory=dict)
+    #: permanent (retry-exhausted or non-retryable) failures per class
+    failures_by_class: dict[str, int] = field(default_factory=dict)
     watchdog_history: list[WatchdogSample] = field(default_factory=list)
     output_lines: list[str] = field(default_factory=list)
 
@@ -62,6 +66,10 @@ class JobStats:
     @property
     def avg_file_size(self) -> float:
         return self.bytes_copied / self.files_copied if self.files_copied else 0.0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries_by_class.values())
 
     def to_dict(self) -> dict:
         """Serializable record of the job (for operation logs / replays)."""
@@ -88,6 +96,8 @@ class JobStats:
             "fuse_files": self.fuse_files,
             "aborted": self.aborted,
             "abort_reason": self.abort_reason,
+            "retries_by_class": dict(self.retries_by_class),
+            "failures_by_class": dict(self.failures_by_class),
             "watchdog_samples": len(self.watchdog_history),
         }
 
@@ -112,6 +122,11 @@ class JobStats:
                 f"  compare: {self.files_compared} files, "
                 f"{self.compare_mismatches} mismatches"
             )
+        if self.retries_by_class:
+            by_class = " ".join(
+                f"{k}={v}" for k, v in sorted(self.retries_by_class.items())
+            )
+            lines.append(f"  retries: {self.total_retries} ({by_class})")
         if self.aborted:
             lines.append(f"  ABORTED: {self.abort_reason}")
         return "\n".join(lines)

@@ -22,6 +22,9 @@ Public surface
     Continuous quantity (bytes, slots) with put/get.
 :class:`Store`, :class:`FilterStore`, :class:`PriorityStore`
     Object queues used for message passing.
+:class:`StoreGet`
+    Pending store retrieval; supports eager ``cancel()`` for receives
+    that race a timer and lose.
 """
 
 from repro.sim.kernel import (
@@ -41,6 +44,7 @@ from repro.sim.resources import (
     PriorityStore,
     Resource,
     Store,
+    StoreGet,
 )
 from repro.sim.rng import RandomStreams
 
@@ -59,5 +63,6 @@ __all__ = [
     "Resource",
     "SimulationError",
     "Store",
+    "StoreGet",
     "Timeout",
 ]

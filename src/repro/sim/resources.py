@@ -24,6 +24,7 @@ __all__ = [
     "Request",
     "Resource",
     "Store",
+    "StoreGet",
 ]
 
 
@@ -195,6 +196,35 @@ class Container:
         return f"<Container level={self._level}/{self.capacity}>"
 
 
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`.
+
+    Supports :meth:`cancel` to *eagerly* withdraw an unused get.  Merely
+    clearing ``callbacks`` leaves the getter queued: until the store's
+    next settle pass sweeps it, :meth:`Store._do_get` could hand it an
+    item that nobody will ever read (a receive that swallows a message —
+    exactly how PFTool's WatchDog used to lose its ``Exit``).  ``cancel``
+    removes the getter from the queue immediately so no item can be
+    routed to it.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        self.store = store
+
+    def cancel(self) -> None:
+        """Withdraw this get (no-op once an item has been delivered)."""
+        if self.triggered:
+            return
+        self.callbacks = None
+        try:
+            self.store._getq.remove(self)
+        except ValueError:
+            pass
+
+
 class Store:
     """FIFO object queue with optional capacity."""
 
@@ -205,7 +235,7 @@ class Store:
         self.capacity = capacity
         self.items: list[Any] = []
         self._putq: list[tuple[Event, Any]] = []
-        self._getq: list[Event] = []
+        self._getq: list[StoreGet] = []
 
     def __len__(self) -> int:
         return len(self.items)
@@ -216,8 +246,8 @@ class Store:
         self._settle()
         return ev
 
-    def get(self) -> Event:
-        ev = Event(self.env)
+    def get(self) -> StoreGet:
+        ev = StoreGet(self)
         self._getq.append(ev)
         self._settle()
         return ev
@@ -261,23 +291,27 @@ class Store:
         return f"<{type(self).__name__} items={len(self.items)} waiters={len(self._getq)}>"
 
 
-class _FilterGet(Event):
+class _FilterGet(StoreGet):
     """A get-event carrying the caller's item predicate."""
 
     __slots__ = ("_filter",)
 
     def __init__(
-        self, env: Environment, filter: Optional[Callable[[Any], bool]]  # noqa: A002
+        self, store: "FilterStore", filter: Optional[Callable[[Any], bool]]  # noqa: A002
     ) -> None:
-        super().__init__(env)
+        super().__init__(store)
         self._filter = filter
 
 
 class FilterStore(Store):
-    """Store whose getters can select items with a predicate."""
+    """Store whose getters can select items with a predicate.
 
-    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:  # noqa: A002
-        ev = _FilterGet(self.env, filter)
+    The returned :class:`StoreGet` supports ``cancel()`` for callers
+    that race a receive against a timer and lose interest.
+    """
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # noqa: A002
+        ev = _FilterGet(self, filter)
         self._getq.append(ev)
         self._settle()
         return ev

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from repro.faults import DriveFault
 from repro.netsim.fabric import Fabric
 from repro.sim import Environment, Event, Resource, SimulationError
 from repro.tapesim.cartridge import TapeCartridge, TapeExtent
@@ -212,21 +213,27 @@ class TapeDrive:
         done = self.env.event()
 
         def _proc() -> Iterable[Event]:
-            with self._ops.request() as op:
-                yield op
-                cart = self._require_cart()
-                yield from self._handoff_check(client)
-                if self.position != cart.eod:
-                    st = self.spec.locate_time(self.position, cart.eod)
-                    self.seek_seconds += st
-                    yield self.env.timeout(st)
+            try:
+                with self._ops.request() as op:
+                    yield op
+                    cart = self._require_cart()
+                    yield from self._handoff_check(client)
+                    if self.position != cart.eod:
+                        st = self.spec.locate_time(self.position, cart.eod)
+                        self.seek_seconds += st
+                        yield self.env.timeout(st)
+                        self.position = cart.eod
+                    self.backhitches += 1
+                    yield self.env.timeout(self.spec.backhitch)
+                    yield from self._stream(client, nbytes, inbound=True)
+                    ext = cart.append(object_id, nbytes)
                     self.position = cart.eod
-                self.backhitches += 1
-                yield self.env.timeout(self.spec.backhitch)
-                yield from self._stream(client, nbytes, inbound=True)
-                ext = cart.append(object_id, nbytes)
-                self.position = cart.eod
-                self.bytes_written += nbytes
+                    self.bytes_written += nbytes
+            except SimulationError as exc:
+                # deliver the fault to the waiter instead of crashing the
+                # drive process — callers own the retry decision
+                done.fail(exc)
+                return
             done.succeed(ext)
 
         self.env.process(_proc(), name=f"{self.name}-write")
@@ -242,25 +249,29 @@ class TapeDrive:
         done = self.env.event()
 
         def _proc() -> Iterable[Event]:
-            with self._ops.request() as op:
-                yield op
-                cart = self._require_cart()
-                if extent.volume != cart.volume:
-                    raise SimulationError(
-                        f"{self.name}: extent on {extent.volume} but "
-                        f"{cart.volume} is mounted"
-                    )
-                yield from self._handoff_check(client)
-                if self.position != extent.start_byte:
-                    st = self.spec.locate_time(self.position, extent.start_byte)
-                    self.seek_seconds += st
-                    yield self.env.timeout(st)
-                    self.position = float(extent.start_byte)
-                # else: the head is already there — back-to-back sequential
-                # reads keep the tape streaming (the win of ordered recall)
-                yield from self._stream(client, extent.nbytes, inbound=False)
-                self.position = float(extent.end_byte)
-                self.bytes_read += extent.nbytes
+            try:
+                with self._ops.request() as op:
+                    yield op
+                    cart = self._require_cart()
+                    if extent.volume != cart.volume:
+                        raise SimulationError(
+                            f"{self.name}: extent on {extent.volume} but "
+                            f"{cart.volume} is mounted"
+                        )
+                    yield from self._handoff_check(client)
+                    if self.position != extent.start_byte:
+                        st = self.spec.locate_time(self.position, extent.start_byte)
+                        self.seek_seconds += st
+                        yield self.env.timeout(st)
+                        self.position = float(extent.start_byte)
+                    # else: the head is already there — back-to-back sequential
+                    # reads keep the tape streaming (the win of ordered recall)
+                    yield from self._stream(client, extent.nbytes, inbound=False)
+                    self.position = float(extent.end_byte)
+                    self.bytes_read += extent.nbytes
+            except SimulationError as exc:
+                done.fail(exc)
+                return
             done.succeed(extent)
 
         self.env.process(_proc(), name=f"{self.name}-read")
@@ -268,7 +279,7 @@ class TapeDrive:
 
     def _require_cart(self) -> TapeCartridge:
         if self.failed:
-            raise SimulationError(f"{self.name}: drive has failed")
+            raise DriveFault(f"{self.name}: drive has failed")
         if self.cartridge is None:
             raise SimulationError(f"{self.name}: no cartridge mounted")
         return self.cartridge

@@ -189,10 +189,10 @@ class TapeLibrary:
                 if get_any.triggered:  # grabbed a second drive: give it back
                     self._idle.put(get_any.value)
                 else:
-                    get_any.callbacks = None  # withdraw
+                    get_any.cancel()  # withdraw before it can grab a drive
             else:
                 drive = get_any.value
-                get_pref.callbacks = None  # withdraw
+                get_pref.cancel()  # withdraw before it can grab a drive
             if drive.cartridge is not None and drive.cartridge.volume != vol:
                 # Dismount the stale volume first and stow it.
                 yield drive.unload()

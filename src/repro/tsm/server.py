@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.sim import Environment, Event, Resource, SimulationError
 from repro.tapesim import TapeExtent, TapeLibrary
@@ -147,10 +147,15 @@ class TsmServer:
         self.objects.create_index("by_path", ("filespace", "path"))
         #: aggregate container id -> tape object id holding it
         self._aggregates: dict[int, int] = {}
+        #: fault-injection hook: called as ``hook(op, object_id)`` per
+        #: retrieve; a returned exception fails that retrieve (see
+        #: :mod:`repro.faults`)
+        self.fault_hook: Optional[Callable[[str, Any], Optional[BaseException]]] = None
         # stats
         self.transactions = 0
         self.bytes_stored = 0.0
         self.bytes_retrieved = 0.0
+        self.faults_injected = 0
 
     # ------------------------------------------------------------------
     # sessions
@@ -211,6 +216,15 @@ class TsmServer:
             return done
 
         def _proc():
+            try:
+                yield from _body()
+            except SimulationError as exc:
+                # deliver the failure to the caller; a crashed server
+                # process would wedge every rank waiting on this event
+                if not done.triggered:
+                    done.fail(exc)
+
+        def _body():
             receipts: list[StoredObject] = []
             idx = 0
             while idx < len(items):
@@ -284,6 +298,13 @@ class TsmServer:
         total = int(sum(n for _, n in items))
 
         def _proc():
+            try:
+                yield from _body()
+            except SimulationError as exc:
+                if not done.triggered:
+                    done.fail(exc)
+
+        def _body():
             volume = self.library.select_output_volume(total, collocation_group)
             drive = yield self.library.acquire_drive(volume.volume)
             try:
@@ -357,6 +378,13 @@ class TsmServer:
         ids = list(object_ids)
 
         def _proc():
+            try:
+                yield from _body()
+            except SimulationError as exc:
+                if not done.triggered:
+                    done.fail(exc)
+
+        def _body():
             delivered: list[StoredObject] = []
             i = 0
             while i < len(ids):
@@ -373,6 +401,7 @@ class TsmServer:
                             )
                         if obj.volume != drive.cartridge.volume:
                             break  # next object needs another volume
+                        self._check_fault("retrieve", obj.object_id)
                         yield from self._txn()
                         extent = self._extent_for(obj, drive)
                         read = drive.read_extent(
@@ -392,6 +421,15 @@ class TsmServer:
 
         self.env.process(_proc(), name="tsm-retrieve")
         return done
+
+    def _check_fault(self, op: str, object_id: Any) -> None:
+        """Raise an injected fault for (op, object) when a hook says so."""
+        if self.fault_hook is None:
+            return
+        exc = self.fault_hook(op, object_id)
+        if exc is not None:
+            self.faults_injected += 1
+            raise exc
 
     def _extent_for(self, obj: StoredObject, drive) -> TapeExtent:
         cart = drive.cartridge

@@ -1,0 +1,30 @@
+"""Static checks + runtime invariant monitoring for the repro codebase.
+
+Two halves, one set of invariants (RA001-RA005, see DESIGN.md):
+
+* ``repro.analysis.lint`` — AST linter, ``python -m repro.analysis.lint src/``
+* ``repro.analysis.monitor`` — opt-in runtime monitor for live PFTool jobs
+
+This package must stay importable with nothing but the stdlib: the CI
+lint job runs it on a bare interpreter, and ``repro.pftool.job`` imports
+:func:`default_monitor` unconditionally.
+"""
+
+from repro.analysis.core import Finding, LintResult, Rule, run_lint
+from repro.analysis.monitor import (
+    InvariantMonitor,
+    InvariantViolation,
+    default_monitor,
+    set_default_monitor_factory,
+)
+
+__all__ = [
+    "Finding",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LintResult",
+    "Rule",
+    "default_monitor",
+    "run_lint",
+    "set_default_monitor_factory",
+]

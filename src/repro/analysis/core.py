@@ -1,0 +1,204 @@
+"""AST lint framework for the repro codebase's unwritten invariants.
+
+The framework is deliberately tiny: a :class:`Rule` sees parsed modules
+(:class:`ModuleInfo`), emits :class:`Finding`\\s, and the runner handles
+file discovery, ``# noqa:RA###`` suppressions, rule selection and
+output formatting.  Rules come in two shapes:
+
+* per-module (``check_module``) — determinism, queue discipline,
+  blocking receives;
+* whole-project (``check_project``) — protocol rules that must see
+  every send/receive site at once.
+
+No third-party dependencies and no imports of the code under analysis:
+everything is derived from the AST, so the linter runs on a bare
+python (CI's lint job) and on synthetic trees (the rule unit tests).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "dotted_name",
+    "iter_python_files",
+    "run_lint",
+]
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file plus its suppression map."""
+
+    path: Path
+    relpath: str  # posix-style, relative to the scan root
+    tree: ast.Module
+    #: line -> set of suppressed codes; ``None`` means suppress all
+    noqa: dict[int, Optional[frozenset[str]]] = field(default_factory=dict)
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.noqa.get(finding.line, frozenset())
+        if codes is None:
+            return True
+        return finding.code in codes
+
+
+@dataclass
+class Project:
+    """Every module of one lint run (cross-file rules see all of them)."""
+
+    modules: list[ModuleInfo] = field(default_factory=list)
+
+
+class Rule:
+    """Base class; subclasses set ``code`` and override one hook."""
+
+    code = "RA000"
+    name = "base"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _parse_noqa(source: str) -> dict[int, Optional[frozenset[str]]]:
+    noqa: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            noqa[lineno] = None  # bare noqa: everything
+        else:
+            noqa[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return noqa
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str]]:
+    """(absolute path, relpath) for every .py under *paths*."""
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            yield root, root.name
+            continue
+        for p in sorted(root.rglob("*.py")):
+            yield p, p.relative_to(root).as_posix()
+
+
+def load_module(path: Path, relpath: str) -> Optional[ModuleInfo]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    return ModuleInfo(path=path, relpath=relpath, tree=tree, noqa=_parse_noqa(source))
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    suppressed: int
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": self.suppressed,
+                "files_checked": self.files_checked,
+            },
+            indent=2,
+        )
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint *paths* with *rules*; *select* restricts to specific codes."""
+    selected = set(select) if select is not None else None
+    project = Project()
+    for path, relpath in iter_python_files(paths):
+        module = load_module(path, relpath)
+        if module is not None:
+            project.modules.append(module)
+
+    raw: list[tuple[ModuleInfo, Finding]] = []
+    by_rel = {m.relpath: m for m in project.modules}
+    for rule in rules:
+        if selected is not None and rule.code not in selected:
+            continue
+        for module in project.modules:
+            for finding in rule.check_module(module):
+                raw.append((module, finding))
+        for finding in rule.check_project(project):
+            raw.append((by_rel.get(finding.path), finding))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for module, finding in raw:
+        if module is not None and module.suppressed(finding):
+            suppressed += 1
+        else:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(project.modules),
+    )

@@ -1,0 +1,77 @@
+"""Command-line linter: ``python -m repro.analysis.lint src/``.
+
+Exit status 0 when clean, 1 when findings remain after suppressions,
+2 on usage errors.  ``--format json`` emits a machine-readable report
+(CI archives it); ``--select RA001,RA003`` restricts the rule set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.core import LintResult, Rule, run_lint
+from repro.analysis.rules_determinism import DeterminismRule
+from repro.analysis.rules_protocol import PayloadSchemaRule, ProtocolRule
+from repro.analysis.rules_queues import BlockingReceiveRule, QueueDisciplineRule
+
+__all__ = ["default_rules", "main"]
+
+
+def default_rules() -> list[Rule]:
+    return [
+        DeterminismRule(),
+        ProtocolRule(),
+        QueueDisciplineRule(),
+        PayloadSchemaRule(),
+        BlockingReceiveRule(),
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Static checks for repro's determinism, protocol and "
+        "queue-discipline invariants (RA001-RA005).",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run, e.g. RA001,RA003",
+    )
+    args = parser.parse_args(argv)
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        known = {rule.code for rule in default_rules()}
+        unknown = set(select) - known
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+
+    result: LintResult = run_lint(args.paths, default_rules(), select=select)
+
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        summary = (
+            f"{len(result.findings)} finding(s), {result.suppressed} "
+            f"suppressed, {result.files_checked} file(s) checked"
+        )
+        print(("" if not result.findings else "\n") + summary)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Runtime invariant monitor for the simulated PFTool message plane.
+
+The static rules (RA001-RA005) catch what the AST can prove; this
+monitor watches a *live* job for the dynamic versions of the same
+invariants:
+
+* **message conservation** — every send is eventually consumed; at job
+  completion no live rank's mailbox holds unread messages and no rank
+  has a dangling (posted, never-completed, never-cancelled) receive.
+  A leaked receive mid-run — a rank posting a new ``recv`` while its
+  previous one is still pending — is the WatchDog bug class and is
+  reported at the moment it happens.
+* **payload schema** — runtime counterpart of RA004: payloads must be
+  instances of the ``TAG_PAYLOADS`` family for their tag.
+* **work conservation** — files discovered by the tree walk may not
+  exceed files accounted for (copied + skipped + failed) once the job
+  completes; anything else means the Manager lost work.
+* **single-writer queues** — runtime counterpart of RA003: mutating a
+  Manager-owned queue from any process other than the Manager's raises.
+
+``strict=True`` (the test default, installed by ``tests/conftest.py``)
+raises :class:`InvariantViolation`; otherwise violations are counted in
+``JobStats.invariant_violations`` so experiment sweeps keep running.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "default_monitor",
+    "set_default_monitor_factory",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the message plane was broken."""
+
+
+#: process-wide default factory; tests install a strict monitor here
+_default_factory: Optional[Callable[[], "InvariantMonitor"]] = None
+
+
+def set_default_monitor_factory(
+    factory: Optional[Callable[[], "InvariantMonitor"]],
+) -> None:
+    """Install (or clear, with ``None``) the default monitor factory.
+
+    Every :class:`~repro.pftool.job.PftoolJob` built without an explicit
+    ``RuntimeContext.monitor`` asks this factory for one.
+    """
+    global _default_factory
+    _default_factory = factory
+
+
+def default_monitor() -> Optional["InvariantMonitor"]:
+    """A fresh monitor from the installed factory, or None."""
+    if _default_factory is None:
+        return None
+    return _default_factory()
+
+
+class MonitoredDeque(deque):
+    """A deque that reports which process mutates it.
+
+    Wraps the Manager's work queues so that any append/pop issued from a
+    process other than the Manager's own trips the single-writer check.
+    """
+
+    def __init__(self, iterable=(), *, monitor=None, owner_name=""):
+        super().__init__(iterable)
+        self._monitor = monitor
+        self._owner_name = owner_name
+
+    def _check(self) -> None:
+        if self._monitor is not None:
+            self._monitor.on_queue_mutation(self._owner_name)
+
+    def append(self, x):  # noqa: D102
+        self._check()
+        super().append(x)
+
+    def appendleft(self, x):
+        self._check()
+        super().appendleft(x)
+
+    def extend(self, iterable):
+        self._check()
+        super().extend(iterable)
+
+    def extendleft(self, iterable):
+        self._check()
+        super().extendleft(iterable)
+
+    def pop(self):
+        self._check()
+        return super().pop()
+
+    def popleft(self):
+        self._check()
+        return super().popleft()
+
+    def remove(self, value):
+        self._check()
+        super().remove(value)
+
+    def clear(self):
+        self._check()
+        super().clear()
+
+
+class InvariantMonitor:
+    """Observes one PftoolJob's communicator and Manager queues."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.violations: list[str] = []
+        self.sent = 0
+        self.received = 0
+        #: rank -> outstanding StoreGet posted by that rank's last recv
+        self._pending_recv: dict[int, Any] = {}
+        self._job: Any = None
+        self._stats: Any = None
+        self._manager: Any = None
+        self._manager_process: Any = None
+        self._env: Any = None
+        self._payload_table: Optional[dict[int, tuple[type, ...]]] = None
+        self._tag_work_req: Optional[int] = None
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, job: Any) -> None:
+        """Hook into *job*'s communicator (called from PftoolJob.__init__)."""
+        self._job = job
+        self._stats = job.stats
+        self._env = job.env
+        job.comm.monitor = self
+        if self._payload_table is None:
+            # lazy import: analysis must stay importable without pftool
+            from repro.pftool.messages import TAG_PAYLOADS, TAG_WORK_REQ
+
+            self._payload_table = TAG_PAYLOADS
+            self._tag_work_req = TAG_WORK_REQ
+
+    def bind_manager(self, manager: Any, process: Any) -> None:
+        """Record the Manager's process and wrap its deque queues
+        (called from Manager.run, on the Manager's own process)."""
+        self._manager = manager
+        self._manager_process = process
+        for name in ("dir_q", "name_q", "copy_q", "tape_q"):
+            queue = getattr(manager, name, None)
+            if isinstance(queue, deque) and not isinstance(queue, MonitoredDeque):
+                wrapped = MonitoredDeque(queue, monitor=self, owner_name=name)
+                setattr(manager, name, wrapped)
+
+    # -- violation sink ------------------------------------------------
+    def _violate(self, kind: str, message: str) -> None:
+        self.violations.append(f"{kind}: {message}")
+        if self._stats is not None:
+            counts = self._stats.invariant_violations
+            counts[kind] = counts.get(kind, 0) + 1
+        if self.strict:
+            raise InvariantViolation(f"{kind}: {message}")
+
+    # -- communicator hooks --------------------------------------------
+    def on_send(self, comm: Any, msg: Any) -> None:
+        self.sent += 1
+        table = self._payload_table
+        if table is not None and msg.tag in table:
+            family = table[msg.tag]
+            if not isinstance(msg.payload, family):
+                names = ", ".join(t.__name__ for t in family)
+                self._violate(
+                    "payload-schema",
+                    f"tag {msg.tag} carried {type(msg.payload).__name__!r}; "
+                    f"expected one of {{{names}}} "
+                    f"(src={msg.source} dst={msg.dest})",
+                )
+
+    def on_recv(self, comm: Any, rank: int, get: Any) -> None:
+        prev = self._pending_recv.get(rank)
+        if prev is not None and self._leaked(prev):
+            self._violate(
+                "leaked-receive",
+                f"rank {rank} posted a new receive while its previous one "
+                "was still pending (neither completed nor cancelled); the "
+                "old get will silently swallow the next matching message",
+            )
+        self._pending_recv[rank] = get
+        self.received += 1
+
+    @staticmethod
+    def _leaked(get: Any) -> bool:
+        """Pending and not cancelled: will still consume a mailbox item."""
+        return not get.triggered and get.callbacks is not None
+
+    # -- queue hook ----------------------------------------------------
+    def on_queue_mutation(self, queue_name: str) -> None:
+        if self._env is None or self._manager_process is None:
+            return
+        active = self._env.active_process
+        if active is None:
+            return  # test code driving the Manager directly
+        if active is not self._manager_process:
+            name = getattr(active, "name", active)
+            self._violate(
+                "queue-ownership",
+                f"process {name!r} mutated Manager-owned queue "
+                f"{queue_name!r}; only the Manager process may",
+            )
+
+    # -- completion audit ----------------------------------------------
+    def check_completion(self, comm: Any, stats: Any) -> None:
+        """Audit conservation invariants; Manager calls this after the
+        settle delay, just before succeeding the job's done event."""
+        if stats.aborted:
+            return  # an aborted job legitimately strands messages
+        live = getattr(self._job, "live_ranks", None)
+        for rank, store in enumerate(comm._mailboxes):
+            if live is not None and rank not in live:
+                continue  # e.g. Exit broadcast to never-spawned tape ranks
+            # A worker's final WorkRequest legitimately lands after the
+            # Manager stopped receiving; an Exit can strand when a rank
+            # already terminated.  Anything else is lost protocol traffic.
+            stranded = [
+                msg
+                for msg in store.items
+                if msg.tag != self._tag_work_req and not self._is_exit(msg)
+            ]
+            if stranded:
+                tags = sorted({msg.tag for msg in stranded})
+                self._violate(
+                    "message-conservation",
+                    f"rank {rank} mailbox holds {len(stranded)} unread "
+                    f"message(s) at completion (tags {tags})",
+                )
+        if stats.op == "copy":
+            seen = stats.files_seen
+            accounted = (
+                stats.files_copied + stats.files_skipped + stats.files_failed
+            )
+            # ">" not "!=": container tape failures count a failure for the
+            # container itself, which the tree walk never saw as a file.
+            if seen > accounted:
+                self._violate(
+                    "work-conservation",
+                    f"walk saw {seen} file(s) but only {accounted} were "
+                    "accounted for (copied+skipped+failed); work was lost",
+                )
+        elif stats.op == "compare":
+            if stats.files_seen > stats.files_compared + stats.files_failed:
+                self._violate(
+                    "work-conservation",
+                    f"walk saw {stats.files_seen} file(s) but only "
+                    f"{stats.files_compared} were compared; work was lost",
+                )
+
+    @staticmethod
+    def _is_exit(msg: Any) -> bool:
+        return type(msg.payload).__name__ == "Exit"

@@ -1,0 +1,313 @@
+"""RA002/RA004 — the Manager/Worker message protocol stays closed.
+
+RA002 *protocol exhaustiveness*: every ``TAG_*`` constant must have at
+least one send site and at least one receive/dispatch site, and every
+if/elif or ``match`` dispatch over message tags must be exhaustive
+(cover every declared tag or carry a terminal ``else``/``case _``).
+Orphan tags are how protocol drift starts: a producer keeps emitting a
+message no loop consumes, or a consumer waits for a tag nobody sends.
+
+RA004 *payload schema*: the payload sent with a tag must belong to the
+dataclass family the ``TAG_PAYLOADS`` table declares for it — no raw
+tuples/strings smuggled through the communicator (the ``##container##``
+sentinel-string regression, mechanized).
+
+Both rules are whole-project: they need every send/receive site at once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule
+
+__all__ = ["PayloadSchemaRule", "ProtocolRule", "scan_protocol"]
+
+
+@dataclass
+class _Site:
+    module: str
+    line: int
+    col: int
+    tag: Optional[str]  # TAG_* name, or None for a wildcard receive
+    payload: Optional[ast.expr] = None
+    func: Optional[ast.AST] = None  # enclosing function node, for inference
+
+
+@dataclass
+class _ProtocolScan:
+    """Everything the protocol rules need, from one AST pass."""
+
+    #: TAG_* name -> (module, line) of the declaration
+    declared: dict[str, tuple[str, int]] = field(default_factory=dict)
+    sends: list[_Site] = field(default_factory=list)
+    recvs: list[_Site] = field(default_factory=list)
+    #: tags mentioned in ``msg.tag == TAG_X`` comparisons
+    compared: dict[str, list[_Site]] = field(default_factory=dict)
+    #: (module, line, tags_in_chain, has_else) for each tag-dispatch chain
+    chains: list[tuple[str, int, set[str], bool]] = field(default_factory=list)
+    #: TAG_* name -> set of allowed payload class names (from TAG_PAYLOADS)
+    payload_table: dict[str, set[str]] = field(default_factory=dict)
+
+    @property
+    def has_wildcard_recv(self) -> bool:
+        return any(site.tag is None for site in self.recvs)
+
+
+def _tag_name(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Name) and node.id.startswith("TAG_"):
+        return node.id
+    return None
+
+
+def _arg(call: ast.Call, pos: int, kw: str) -> Optional[ast.expr]:
+    if len(call.args) > pos:
+        return call.args[pos]
+    for keyword in call.keywords:
+        if keyword.arg == kw:
+            return keyword.value
+    return None
+
+
+def _scan_module(module: ModuleInfo, scan: _ProtocolScan) -> None:
+    rel = module.relpath
+
+    # module-level TAG_* declarations and the TAG_PAYLOADS table
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if (
+                target.id.startswith("TAG_")
+                and target.id != "TAG_PAYLOADS"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                scan.declared[target.id] = (rel, stmt.lineno)
+            elif target.id == "TAG_PAYLOADS" and isinstance(value, ast.Dict):
+                for key, val in zip(value.keys, value.values):
+                    tag = _tag_name(key)
+                    if tag is None or not isinstance(val, ast.Tuple):
+                        continue
+                    names = {
+                        elt.id for elt in val.elts if isinstance(elt, ast.Name)
+                    }
+                    scan.payload_table[tag] = names
+
+    # send / recv / comparison sites, tracking the enclosing function
+    def visit(node: ast.AST, func: Optional[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "send":
+                tag = _arg(node, 3, "tag")
+                scan.sends.append(
+                    _Site(rel, node.lineno, node.col_offset, _tag_name(tag),
+                          payload=_arg(node, 2, "payload"), func=func)
+                )
+            elif attr == "broadcast":
+                tag = _arg(node, 2, "tag")
+                scan.sends.append(
+                    _Site(rel, node.lineno, node.col_offset, _tag_name(tag),
+                          payload=_arg(node, 1, "payload"), func=func)
+                )
+            elif attr == "recv":
+                tag = _arg(node, 2, "tag")
+                scan.recvs.append(
+                    _Site(rel, node.lineno, node.col_offset, _tag_name(tag))
+                )
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1 and isinstance(
+            node.ops[0], ast.Eq
+        ):
+            sides = (node.left, node.comparators[0])
+            for a, b in (sides, sides[::-1]):
+                tag = _tag_name(b)
+                if tag and isinstance(a, ast.Attribute) and a.attr == "tag":
+                    scan.compared.setdefault(tag, []).append(
+                        _Site(rel, node.lineno, node.col_offset, tag)
+                    )
+        for child in ast.iter_child_nodes(node):
+            visit(child, func)
+
+    visit(module.tree, None)
+
+    # if/elif dispatch chains over tags (an elif is an If in orelse)
+    elifs: set[int] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.If) and len(node.orelse) == 1 and isinstance(
+            node.orelse[0], ast.If
+        ):
+            elifs.add(id(node.orelse[0]))
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.If) or id(node) in elifs:
+            continue
+        tags: set[str] = set()
+        cursor: ast.stmt = node
+        has_else = False
+        while isinstance(cursor, ast.If):
+            for sub in ast.walk(cursor.test):
+                if isinstance(sub, ast.Compare):
+                    for side in (sub.left, *sub.comparators):
+                        other = [sub.left, *sub.comparators]
+                        tag = _tag_name(side)
+                        if tag and any(
+                            isinstance(o, ast.Attribute) and o.attr == "tag"
+                            for o in other
+                        ):
+                            tags.add(tag)
+            if len(cursor.orelse) == 1 and isinstance(cursor.orelse[0], ast.If):
+                cursor = cursor.orelse[0]
+            else:
+                has_else = bool(cursor.orelse)
+                break
+        if tags:
+            scan.chains.append((rel, node.lineno, tags, has_else))
+
+    # match statements over tags
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Match):
+            continue
+        tags = set()
+        has_wildcard = False
+        for case in node.cases:
+            pattern = case.pattern
+            if isinstance(pattern, ast.MatchValue):
+                tag = _tag_name(pattern.value)
+                if tag:
+                    tags.add(tag)
+            elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                has_wildcard = True
+        if tags:
+            scan.chains.append((rel, node.lineno, tags, has_wildcard))
+
+
+def scan_protocol(project: Project) -> _ProtocolScan:
+    scan = _ProtocolScan()
+    for module in project.modules:
+        _scan_module(module, scan)
+    return scan
+
+
+class ProtocolRule(Rule):
+    code = "RA002"
+    name = "protocol-exhaustiveness"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        scan = scan_protocol(project)
+        sent = {s.tag for s in scan.sends if s.tag}
+        recv_specific = {r.tag for r in scan.recvs if r.tag}
+        for tag, (module, line) in sorted(scan.declared.items()):
+            if tag not in sent:
+                yield Finding(
+                    self.code,
+                    f"{tag} is declared but never sent (orphan producer tag)",
+                    module, line,
+                )
+            received = (
+                tag in recv_specific
+                or tag in scan.compared
+                or scan.has_wildcard_recv
+            )
+            if not received:
+                yield Finding(
+                    self.code,
+                    f"{tag} is sent but has no receive/dispatch site "
+                    "(messages would accumulate unread)",
+                    module, line,
+                )
+        for module, line, tags, has_else in scan.chains:
+            missing = set(scan.declared) - tags
+            if not has_else and missing:
+                yield Finding(
+                    self.code,
+                    "non-exhaustive tag dispatch: no terminal else and "
+                    f"missing {', '.join(sorted(missing))}",
+                    module, line,
+                )
+
+
+#: payload literal types, by AST node class
+_LITERAL_TYPES = (
+    (ast.Tuple, "tuple"),
+    (ast.List, "list"),
+    (ast.Dict, "dict"),
+    (ast.Set, "set"),
+)
+
+
+class PayloadSchemaRule(Rule):
+    code = "RA004"
+    name = "payload-schema"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        scan = scan_protocol(project)
+        if not scan.payload_table:
+            return  # no TAG_PAYLOADS table in scope: nothing to enforce
+        universe = set().union(*scan.payload_table.values())
+        for site in scan.sends:
+            if site.tag is None or site.payload is None:
+                continue
+            if site.tag in scan.declared and site.tag not in scan.payload_table:
+                yield Finding(
+                    self.code,
+                    f"{site.tag} has no entry in TAG_PAYLOADS; declare its "
+                    "payload dataclass family",
+                    site.module, site.line, site.col,
+                )
+                continue
+            family = scan.payload_table.get(site.tag)
+            if family is None:
+                continue
+            bad = self._bad_payload(site.payload, site.func, family, universe)
+            if bad is not None:
+                yield Finding(
+                    self.code,
+                    f"payload {bad} sent with {site.tag}, which only carries "
+                    f"{{{', '.join(sorted(family))}}}",
+                    site.module, site.line, site.col,
+                )
+
+    def _bad_payload(
+        self,
+        payload: ast.expr,
+        func: Optional[ast.AST],
+        family: set[str],
+        universe: set[str],
+    ) -> Optional[str]:
+        """Name of the offending payload type, or None when acceptable
+        (or statically undecidable)."""
+        for node_type, type_name in _LITERAL_TYPES:
+            if isinstance(payload, node_type):
+                return None if type_name in family else f"raw {type_name}"
+        if isinstance(payload, ast.Constant):
+            type_name = type(payload.value).__name__
+            return None if type_name in family else f"raw {type_name}"
+        if isinstance(payload, ast.Call) and isinstance(payload.func, ast.Name):
+            cls = payload.func.id
+            if cls in universe and cls not in family:
+                return cls
+            return None
+        if isinstance(payload, ast.Name) and func is not None:
+            # cheap local inference: constructor assignments to this name
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == payload.id
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                ):
+                    cls = node.value.func.id
+                    if cls in universe and cls not in family:
+                        return cls
+        return None

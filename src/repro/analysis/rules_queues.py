@@ -1,0 +1,238 @@
+"""RA003/RA005 — single-writer queues and cancellable receives.
+
+RA003 *queue discipline*: the Manager's work queues (``dir_q``,
+``copy_q``, the ``idle`` rank pools, …) are single-writer state.  Worker
+and helper code observing or mutating them directly would bypass the
+Manager's outstanding-work accounting (``out_dir``/``out_copy``…), which
+is exactly how quiescence detection goes wrong.  Any mutation of a
+Manager-owned queue attribute outside the ``Manager`` class body is
+flagged.
+
+RA005 *blocking receive*: a ``comm.recv(...)`` / ``store.get(...)``
+raced against another event (``yield get | other``) must be cancelled
+on the path where the other event wins — otherwise the mailbox item is
+consumed by a get nobody is waiting on and the message is lost.  This
+is the WatchDog leaked-receive bug class, caught statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ModuleInfo, Rule
+
+__all__ = ["BlockingReceiveRule", "MANAGER_OWNED_QUEUES", "QueueDisciplineRule"]
+
+#: Manager attributes that hold queued work or rank pools
+MANAGER_OWNED_QUEUES = frozenset(
+    {
+        "dir_q",
+        "name_q",
+        "copy_q",
+        "tape_q",
+        "idle",
+        "waiting_chunks",
+        "pending_small",
+        "pending_compare",
+        "tape_buffer",
+        "parked_container_jobs",
+    }
+)
+
+#: method calls that mutate a deque/list/dict/set in place
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+    }
+)
+
+
+def _owned_attr(node: ast.expr, owned: frozenset[str]) -> Optional[str]:
+    """The owned-queue attribute a target expression reaches, if any.
+
+    Matches ``x.dir_q`` and one subscript deep, ``x.idle["worker"]``.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in owned:
+        return node.attr
+    return None
+
+
+class QueueDisciplineRule(Rule):
+    code = "RA003"
+    name = "queue-discipline"
+
+    def __init__(
+        self,
+        owned: frozenset[str] = MANAGER_OWNED_QUEUES,
+        owner_class: str = "Manager",
+    ) -> None:
+        self.owned = owned
+        self.owner_class = owner_class
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        self._visit(module, module.tree, class_stack=[], findings=findings)
+        return iter(findings)
+
+    def _visit(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        class_stack: list[str],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, ast.ClassDef):
+            class_stack = class_stack + [node.name]
+        inside_owner = bool(class_stack) and class_stack[-1] == self.owner_class
+
+        attr: Optional[str] = None
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                attr = _owned_attr(target, self.owned)
+                if attr:
+                    break
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            attr = _owned_attr(node.func.value, self.owned)
+
+        if attr and not inside_owner:
+            findings.append(
+                Finding(
+                    self.code,
+                    f"mutation of Manager-owned queue {attr!r} outside the "
+                    f"{self.owner_class} class breaks single-writer discipline",
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                )
+            )
+
+        for child in ast.iter_child_nodes(node):
+            self._visit(module, child, class_stack, findings)
+
+
+_RECV_ATTRS = frozenset({"recv", "get"})
+
+
+def _race_operands(value: ast.expr) -> Optional[list[ast.expr]]:
+    """Operand expressions when *value* is a multi-event race, else None."""
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr):
+        operands: list[ast.expr] = []
+        stack = [value]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+                stack.extend((node.left, node.right))
+            else:
+                operands.append(node)
+        return operands
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("AnyOf", "any_of")
+    ):
+        for arg in value.args:
+            if isinstance(arg, (ast.List, ast.Tuple)):
+                return list(arg.elts)
+    return None
+
+
+def _is_recv_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _RECV_ATTRS
+    )
+
+
+class BlockingReceiveRule(Rule):
+    code = "RA005"
+    name = "blocking-receive"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for finding in self._check_function(module, node):
+                key = (finding.line, finding.col)
+                if key not in seen:  # nested defs are walked twice
+                    seen.add(key)
+                    yield finding
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Iterator[Finding]:
+        #: name -> assignment node of a recv/get-producing event
+        gets: dict[str, ast.AST] = {}
+        raced: dict[str, ast.AST] = {}  # name -> race site
+        cancelled: set[str] = set()
+        inline_races: list[ast.expr] = []
+
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_recv_call(node.value)
+            ):
+                gets[node.targets[0].id] = node
+            elif isinstance(node, ast.Yield) and node.value is not None:
+                operands = _race_operands(node.value)
+                if operands is None:
+                    continue
+                for operand in operands:
+                    if isinstance(operand, ast.Name):
+                        raced.setdefault(operand.id, node)
+                    elif _is_recv_call(operand):
+                        inline_races.append(operand)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "cancel"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                cancelled.add(node.func.value.id)
+
+        for name, race_site in sorted(raced.items()):
+            if name in gets and name not in cancelled:
+                yield Finding(
+                    self.code,
+                    f"receive {name!r} raced against another event with no "
+                    ".cancel() path; the loser keeps consuming the mailbox",
+                    module.relpath,
+                    race_site.lineno,
+                    race_site.col_offset,
+                )
+        for call in inline_races:
+            yield Finding(
+                self.code,
+                "recv/get constructed inline inside a race can never be "
+                "cancelled; bind it to a name and cancel the loser",
+                module.relpath,
+                call.lineno,
+                call.col_offset,
+            )

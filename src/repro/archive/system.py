@@ -79,11 +79,23 @@ class ArchiveParams:
 
 
 class ParallelArchiveSystem:
-    """Everything Figure 7 shows, wired and ready to run jobs."""
+    """Everything Figure 7 shows, wired and ready to run jobs.
 
-    def __init__(self, env: Environment, params: Optional[ArchiveParams] = None):
+    *monitor* is an optional
+    :class:`repro.analysis.monitor.InvariantMonitor`; when given, every
+    PFTool job launched through this site runs under message/work
+    conservation and queue-ownership checking.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Optional[ArchiveParams] = None,
+        monitor=None,
+    ):
         self.env = env
         self.params = p = params or ArchiveParams()
+        self.monitor = monitor
 
         # -- fabric --------------------------------------------------------
         self.topology: ArchiveSiteTopology = build_archive_site(
@@ -222,6 +234,7 @@ class ParallelArchiveSystem:
                 tsm=self.tsm,
                 tapedb=self.tapedb,
                 filespace=self.params.filespace,
+                monitor=self.monitor,
             )
         return RuntimeContext(
             src_fs=self.archive_fs,
@@ -232,6 +245,7 @@ class ParallelArchiveSystem:
             tsm=self.tsm,
             tapedb=self.tapedb,
             filespace=self.params.filespace,
+            monitor=self.monitor,
         )
 
     def archive(

@@ -61,6 +61,9 @@ class SimComm:
         self.latency = latency
         self._mailboxes = [FilterStore(env) for _ in range(size)]
         self.messages_sent = 0
+        #: opt-in :class:`repro.analysis.monitor.InvariantMonitor` hook;
+        #: observes every send and every posted receive when set
+        self.monitor = None
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
@@ -74,6 +77,8 @@ class SimComm:
             raise SimulationError("tags must be non-negative (negatives are wildcards)")
         self.messages_sent += 1
         msg = Message(src, dst, tag, payload)
+        if self.monitor is not None:
+            self.monitor.on_send(self, msg)
         if self.latency > 0:
 
             def _deliver():
@@ -101,7 +106,10 @@ class SimComm:
                 return False
             return True
 
-        return self._mailboxes[rank].get(_match)
+        get = self._mailboxes[rank].get(_match)
+        if self.monitor is not None:
+            self.monitor.on_recv(self, rank, get)
+        return get
 
     def pending(self, rank: int) -> int:
         """Messages waiting in *rank*'s mailbox (probe-ish)."""

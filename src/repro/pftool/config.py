@@ -9,7 +9,7 @@ them live in :class:`PftoolConfig`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.fusefs import ArchiveFuseFS
 from repro.hsm import HsmManager
@@ -108,6 +108,10 @@ class RuntimeContext:
     tapedb: Optional[TapeIndexDB] = None
     #: TSM filespace of the archive file system
     filespace: str = "archive"
+    #: optional :class:`repro.analysis.monitor.InvariantMonitor`; jobs
+    #: built from this context attach it to their communicator (tests
+    #: install a strict default via the analysis module instead)
+    monitor: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.monitor import default_monitor
 from repro.mpisim import SimComm
 from repro.pftool.config import PftoolConfig, RuntimeContext
 from repro.pftool.manager import Abort, Manager
@@ -56,6 +57,11 @@ class PftoolJob:
         self._manager = Manager(
             env, self.comm, self.cfg, ctx, op, src, dst, self.stats, self.done
         )
+        #: ranks that actually run a process (tape ranks may be skipped)
+        self.live_ranks: set[int] = set()
+        monitor = ctx.monitor if ctx.monitor is not None else default_monitor()
+        if monitor is not None:
+            monitor.attach(self)
         self._spawn_ranks()
 
     def _spawn_ranks(self) -> None:
@@ -65,22 +71,26 @@ class PftoolJob:
         env.process(
             watchdog_proc(env, comm, 2, cfg, self.stats), name="pftool-watchdog"
         )
+        self.live_ranks.update((0, 1, 2))
         rank = 3
         for _ in range(cfg.num_readdir):
             env.process(
                 readdir_proc(env, comm, rank, cfg, ctx), name=f"pftool-readdir{rank}"
             )
+            self.live_ranks.add(rank)
             rank += 1
         for _ in range(cfg.num_workers):
             env.process(
                 worker_proc(env, comm, rank, cfg, ctx), name=f"pftool-worker{rank}"
             )
+            self.live_ranks.add(rank)
             rank += 1
         for _ in range(cfg.num_tapeprocs):
             if ctx.tsm is not None:
                 env.process(
                     tape_proc(env, comm, rank, cfg, ctx), name=f"pftool-tape{rank}"
                 )
+                self.live_ranks.add(rank)
             rank += 1
 
     def cancel(self, reason: str = "cancelled by user") -> None:

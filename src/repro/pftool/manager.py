@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Iterable, Optional
 
 from repro.faults import FailureRecord
@@ -20,6 +20,7 @@ from repro.mpisim import SimComm
 from repro.pfs import PathError
 from repro.pftool.config import PftoolConfig, RuntimeContext
 from repro.pftool.messages import (
+    Abort,
     CompareJob,
     CompareResult,
     ContainerDst,
@@ -37,6 +38,7 @@ from repro.pftool.messages import (
     TAG_OUTPUT,
     TAG_RETRY,
     TAG_TAPEINFO,
+    TapeInfo,
     TapeJob,
     TapeResult,
     WorkRequest,
@@ -52,13 +54,6 @@ MAX_OUTPUT_LINES = 10_000
 #: failure classes worth retrying — namespace ('path') errors are
 #: deterministic and requeueing them only delays the permanent verdict
 NON_RETRYABLE_CLASSES = frozenset({"path"})
-
-
-@dataclass(frozen=True)
-class Abort:
-    """Sent to the Manager to kill the job (WatchDog stall or user)."""
-
-    reason: str
 
 
 class Manager:
@@ -140,6 +135,10 @@ class Manager:
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> Iterable[Event]:
+        monitor = getattr(self.comm, "monitor", None)
+        if monitor is not None:
+            # Runs inside the manager process: active_process is us.
+            monitor.bind_manager(self, self.env.active_process)
         self.stats.started = self.env.now
         self.stats.op = self.op
         src = self.ctx.src_fs
@@ -195,11 +194,18 @@ class Manager:
                 files, nbytes = self.du_totals[key]
                 self._emit(f"{nbytes}\t{files}\t{key}")
         self._emit(self.stats.report())  # must precede Exit (FIFO delivery)
-        self.comm.broadcast(0, Exit())
+        # Exit rides TAG_JOB so the tag-filtered receives of ReadDir /
+        # Worker / TapeProc ranks actually match it and the rank loops
+        # terminate (a tag-0 Exit would sit in their mailboxes forever —
+        # exactly the message leak RA002/the InvariantMonitor flag).
+        self.comm.broadcast(0, Exit(), TAG_JOB)
 
         def _settle():
             # let in-flight output lines land before completing the job
             yield self.env.timeout(2 * self.comm.latency)
+            monitor = getattr(self.comm, "monitor", None)
+            if monitor is not None:
+                monitor.check_completion(self.comm, self.stats)
             if not self.done.triggered:
                 self.done.succeed(self.stats)
 
@@ -415,7 +421,8 @@ class Manager:
         done_ranges = dnode.xattrs.get("__chunks_done__")
         if done_ranges is not None:
             # dedupe: a re-delivered retry may have recorded a range twice
-            covered = sum(l for _, l in set(map(tuple, done_ranges)))
+            # (dict.fromkeys keeps insertion order, unlike a set - RA001)
+            covered = sum(l for _, l in dict.fromkeys(map(tuple, done_ranges)))
             return covered >= spec.size
         return True
 
@@ -545,16 +552,15 @@ class Manager:
                 locs = yield db.locate_many(self.ctx.filespace, paths)
             else:
                 locs = {}
-            comm.send(0, 0, (entries, locs), TAG_TAPEINFO)
+            comm.send(0, 0, TapeInfo(tuple(entries), locs), TAG_TAPEINFO)
 
         env.process(_helper(), name="pftool-tapedb-lookup")
 
-    def _on_tape_info(self, payload) -> None:
+    def _on_tape_info(self, info: TapeInfo) -> None:
         self.pending_lookups -= 1
-        entries, locs = payload
         resolved = []
-        for path, oid, nbytes, dst in entries:
-            loc = locs.get(path)
+        for path, oid, nbytes, dst in info.entries:
+            loc = info.locs.get(path)
             if loc is None and self.ctx.tsm is not None and oid is not None:
                 obj = self.ctx.tsm.locate(oid)  # export-staleness fallback
                 if obj is not None:

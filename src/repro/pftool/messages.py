@@ -18,6 +18,7 @@ from typing import Any, Optional, Union
 from repro.faults import FailureRecord
 
 __all__ = [
+    "Abort",
     "CompareJob",
     "CompareResult",
     "ContainerDst",
@@ -33,11 +34,13 @@ __all__ = [
     "StatResult",
     "TAG_JOB",
     "TAG_OUTPUT",
+    "TAG_PAYLOADS",
     "TAG_RESULT",
     "TAG_RETRY",
     "TAG_TAPEINFO",
     "TAG_WORK_REQ",
     "TapeDst",
+    "TapeInfo",
     "TapeJob",
     "TapeResult",
     "WorkRequest",
@@ -62,6 +65,13 @@ class WorkRequest:
 @dataclass(frozen=True)
 class Exit:
     """Shut down, final stats follow via the job object."""
+
+
+@dataclass(frozen=True)
+class Abort:
+    """Sent to the Manager to kill the job (WatchDog stall or user)."""
+
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -230,3 +240,34 @@ class Retry:
 
     kind: str
     payload: Any
+
+
+@dataclass(frozen=True)
+class TapeInfo:
+    """Resolved tape locations for a batch of buffered restore entries
+    (helper -> manager, TAG_TAPEINFO).
+
+    entries: the Manager's buffered (archive_path, object_id, nbytes,
+    dst) tuples; locs: archive_path -> tape-index row (or absent when
+    the export was stale).  Replaces the old raw ``(entries, locs)``
+    tuple payload, which the RA004 payload-schema rule forbids.
+    """
+
+    entries: tuple[tuple[str, Optional[int], int, Any], ...]
+    locs: Any  # Mapping[str, TapeLocation]
+
+
+#: The protocol's payload schema: which dataclass family each tag may
+#: carry.  This table is the single source of truth for both the RA004
+#: static rule (``repro.analysis.lint`` parses it) and the runtime
+#: :class:`repro.analysis.monitor.InvariantMonitor` (isinstance checks
+#: on every send).  Extending the protocol means extending this table —
+#: an unlisted tag is a lint error at the send site.
+TAG_PAYLOADS: dict[int, tuple[type, ...]] = {
+    TAG_WORK_REQ: (WorkRequest,),
+    TAG_JOB: (DirJob, StatJob, CopyJob, CompareJob, TapeJob, Exit),
+    TAG_RESULT: (DirResult, StatResult, CopyResult, CompareResult, TapeResult, Abort),
+    TAG_OUTPUT: (str,),
+    TAG_TAPEINFO: (TapeInfo,),
+    TAG_RETRY: (Retry,),
+}

@@ -14,8 +14,8 @@ from typing import Iterable, Optional
 from repro.faults import FailureRecord, classify_failure
 from repro.pfs import PathError
 from repro.pftool.config import PftoolConfig, RuntimeContext
-from repro.pftool.manager import Abort
 from repro.pftool.messages import (
+    Abort,
     CompareJob,
     CompareResult,
     CopyJob,

@@ -50,6 +50,9 @@ class JobStats:
     retries_by_class: dict[str, int] = field(default_factory=dict)
     #: permanent (retry-exhausted or non-retryable) failures per class
     failures_by_class: dict[str, int] = field(default_factory=dict)
+    #: InvariantMonitor findings by kind ('leaked-receive', ...) when the
+    #: monitor runs in counting (non-strict) mode
+    invariant_violations: dict[str, int] = field(default_factory=dict)
     watchdog_history: list[WatchdogSample] = field(default_factory=list)
     output_lines: list[str] = field(default_factory=list)
 
@@ -98,6 +101,7 @@ class JobStats:
             "abort_reason": self.abort_reason,
             "retries_by_class": dict(self.retries_by_class),
             "failures_by_class": dict(self.failures_by_class),
+            "invariant_violations": dict(self.invariant_violations),
             "watchdog_samples": len(self.watchdog_history),
         }
 

@@ -1,0 +1,22 @@
+"""Shared test fixtures.
+
+Every PftoolJob constructed during the test run gets a *strict*
+:class:`~repro.analysis.monitor.InvariantMonitor`: a broken message
+invariant (leaked receive, schema drift, lost work, unread mailboxes)
+raises InvariantViolation inside the test instead of silently skewing
+results.  Tests that need an unmonitored job pass an explicit
+``RuntimeContext(monitor=...)`` or clear the factory themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.monitor import InvariantMonitor, set_default_monitor_factory
+
+
+@pytest.fixture(autouse=True)
+def strict_invariant_monitor():
+    set_default_monitor_factory(lambda: InvariantMonitor(strict=True))
+    yield
+    set_default_monitor_factory(None)

@@ -1,0 +1,268 @@
+"""Runtime InvariantMonitor tests.
+
+The centrepiece re-breaks the WatchDog's receive handling (drops the
+``.cancel()`` call that fixed the leaked-receive bug) and shows the
+monitor catching it the moment the second receive is posted — the
+mechanical regression guard the static RA005 rule mirrors.
+"""
+
+import doctest
+from collections import deque
+from types import SimpleNamespace
+from typing import Optional
+
+import pytest
+
+import repro.pftool.job as job_mod
+import repro.sim.rng as rng_mod
+from repro.analysis.monitor import InvariantMonitor, InvariantViolation
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.mpisim import SimComm
+from repro.pftool import PftoolConfig
+from repro.pftool.messages import Exit, TAG_JOB, WorkRequest
+from repro.pftool.stats import JobStats, WatchdogSample
+from repro.sim import Environment
+from repro.tapesim import TapeSpec
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * GB,
+)
+
+
+def small_site(env, **over):
+    kw = dict(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+    )
+    kw.update(over)
+    return ParallelArchiveSystem(env, ArchiveParams(**kw))
+
+
+def seed_scratch(env, system, layout):
+    def go():
+        for path, size in layout.items():
+            parent = path.rsplit("/", 1)[0] or "/"
+            system.scratch_fs.mkdir(parent, parents=True)
+            yield system.scratch_fs.write_file("scratch", path, size)
+
+    env.run(env.process(go()))
+
+
+def attached_monitor(env, size=4, strict=True):
+    """A strict monitor wired to a bare communicator (no job)."""
+    comm = SimComm(env, size, latency=0.0)
+    monitor = InvariantMonitor(strict=strict)
+    job = SimpleNamespace(
+        stats=JobStats(), env=env, comm=comm, live_ranks=set(range(size))
+    )
+    monitor.attach(job)
+    return comm, monitor, job
+
+
+# ----------------------------------------------- the re-broken watchdog
+def broken_watchdog_proc(env, comm, rank, cfg, stats):
+    """watchdog_proc with the historical leaked-receive bug restored:
+    the losing receive is abandoned instead of cancelled."""
+    last_files = 0
+    last_bytes = 0
+    stalled_since: Optional[float] = None
+    while True:
+        wake = env.timeout(cfg.watchdog_interval)
+        incoming = comm.recv(rank)
+        yield wake | incoming
+        if incoming.triggered:
+            if isinstance(incoming.value.payload, Exit):
+                return
+        # BUG (deliberate): no incoming.cancel() on the timer path
+        files = stats.files_copied + stats.tape_files_restored
+        nbytes = stats.bytes_copied + stats.tape_bytes_restored
+        stats.watchdog_history.append(
+            WatchdogSample(
+                env.now, files, nbytes, files - last_files, nbytes - last_bytes
+            )
+        )
+        last_files, last_bytes = files, nbytes
+
+
+def test_monitor_catches_rebroken_watchdog(monkeypatch):
+    """A leaked watchdog receive trips the monitor on the next recv."""
+    monkeypatch.setattr(job_mod, "watchdog_proc", broken_watchdog_proc)
+    env = Environment()
+    system = small_site(env)
+    layout = {f"/campaign/run{i}/out.dat": 50 * MB for i in range(4)}
+    seed_scratch(env, system, layout)
+    cfg = PftoolConfig(
+        num_workers=4, num_readdir=1, num_tapeprocs=2,
+        stat_batch=8, copy_batch=4, watchdog_interval=0.05,
+    )
+    job = system.archive("/campaign", "/archive/campaign", cfg)
+    with pytest.raises(InvariantViolation, match="leaked-receive"):
+        env.run(job.done)
+
+
+def test_fixed_watchdog_passes_under_monitor():
+    """Same job, shipped (cancelling) watchdog: clean run."""
+    env = Environment()
+    system = small_site(env)
+    layout = {f"/campaign/run{i}/out.dat": 50 * MB for i in range(4)}
+    seed_scratch(env, system, layout)
+    cfg = PftoolConfig(
+        num_workers=4, num_readdir=1, num_tapeprocs=2,
+        stat_batch=8, copy_batch=4, watchdog_interval=0.05,
+    )
+    job = system.archive("/campaign", "/archive/campaign", cfg)
+    stats = env.run(job.done)
+    assert stats.files_copied == 4
+    assert job.comm.monitor is not None
+    assert job.comm.monitor.violations == []
+    assert job.comm.monitor.sent > 0
+
+
+# -------------------------------------------------- per-invariant units
+def test_leaked_receive_detected(monkeypatch):
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    comm.recv(2)
+    with pytest.raises(InvariantViolation, match="leaked-receive"):
+        comm.recv(2)
+
+
+def test_cancelled_receive_is_not_leaked():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    get = comm.recv(2)
+    get.cancel()
+    comm.recv(2)  # no violation
+    assert monitor.violations == []
+
+
+def test_consumed_receive_is_not_leaked():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+
+    def rank2():
+        msg = yield comm.recv(2)
+        assert isinstance(msg.payload, Exit)
+        yield comm.recv(2)  # fresh receive after consuming: fine
+
+    env.process(rank2())
+    comm.send(0, 2, Exit(), TAG_JOB)
+    env.run()
+    assert monitor.violations == []
+
+
+def test_payload_schema_violation_raises():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    with pytest.raises(InvariantViolation, match="payload-schema"):
+        comm.send(0, 3, ("src", "dst", 42), TAG_JOB)
+
+
+def test_payload_schema_accepts_declared_family():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    comm.send(3, 0, WorkRequest(3, "worker"), 1)  # TAG_WORK_REQ
+    comm.send(0, 1, "progress line", 4)  # TAG_OUTPUT carries str
+    assert monitor.violations == []
+
+
+def test_queue_ownership_violation():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    manager = SimpleNamespace(
+        dir_q=deque(), name_q=deque(), copy_q=deque(), tape_q=deque()
+    )
+
+    def manager_proc():
+        manager.dir_q.append("mine")  # owner writes: fine
+        yield env.timeout(10)
+
+    proc = env.process(manager_proc(), name="manager")
+    monitor.bind_manager(manager, proc)
+
+    def thief():
+        yield env.timeout(1)
+        manager.dir_q.append("stolen")
+
+    env.process(thief(), name="thief")
+    with pytest.raises(InvariantViolation, match="queue-ownership"):
+        env.run()
+
+
+def test_queue_mutation_outside_any_process_is_allowed():
+    env = Environment()
+    comm, monitor, _ = attached_monitor(env)
+    manager = SimpleNamespace(
+        dir_q=deque(), name_q=deque(), copy_q=deque(), tape_q=deque()
+    )
+    def idle():
+        yield env.timeout(0)
+
+    proc = env.process(idle(), name="manager")
+    monitor.bind_manager(manager, proc)
+    manager.dir_q.append("test-driver")  # no active process: allowed
+    assert monitor.violations == []
+
+
+def test_work_conservation_violation():
+    env = Environment()
+    comm, monitor, job = attached_monitor(env)
+    job.stats.op = "copy"
+    job.stats.files_seen = 3
+    job.stats.files_copied = 1
+    with pytest.raises(InvariantViolation, match="work-conservation"):
+        monitor.check_completion(comm, job.stats)
+
+
+def test_work_conservation_allows_container_overcount():
+    env = Environment()
+    comm, monitor, job = attached_monitor(env)
+    job.stats.op = "copy"
+    job.stats.files_seen = 3
+    job.stats.files_copied = 3
+    job.stats.files_failed = 1  # failed container: never in files_seen
+    monitor.check_completion(comm, job.stats)
+    assert monitor.violations == []
+
+
+def test_message_conservation_violation():
+    env = Environment()
+    comm, monitor, job = attached_monitor(env)
+    # tag 0 is outside TAG_PAYLOADS, so the schema check lets it through;
+    # an unread non-Exit message at completion must still be flagged
+    comm.send(2, 0, "stranded-result", 0)
+    env.run()
+    with pytest.raises(InvariantViolation, match="message-conservation"):
+        monitor.check_completion(comm, job.stats)
+
+
+def test_message_conservation_exempts_final_work_requests():
+    env = Environment()
+    comm, monitor, job = attached_monitor(env)
+    comm.send(3, 0, WorkRequest(3, "worker"), 1)  # the worker's last ask
+    comm.send(0, 3, Exit(), TAG_JOB)  # Exit to a terminated rank
+    env.run()
+    monitor.check_completion(comm, job.stats)
+    assert monitor.violations == []
+
+
+def test_non_strict_monitor_counts_into_stats():
+    env = Environment()
+    comm, monitor, job = attached_monitor(env, strict=False)
+    comm.recv(2)
+    comm.recv(2)
+    assert monitor.violations
+    assert job.stats.invariant_violations == {"leaked-receive": 1}
+    assert job.stats.to_dict()["invariant_violations"] == {"leaked-receive": 1}
+
+
+# ---------------------------------------------------------- rng doctest
+def test_random_streams_spawn_doctest():
+    results = doctest.testmod(rng_mod)
+    assert results.attempted >= 5
+    assert results.failed == 0

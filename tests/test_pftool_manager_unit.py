@@ -7,7 +7,7 @@ from repro.mpisim import SimComm
 from repro.pfs import GpfsFileSystem, PathError, StoragePool
 from repro.pftool import PftoolConfig, RuntimeContext
 from repro.pftool.manager import Manager
-from repro.pftool.messages import CopyJob, FileSpec
+from repro.pftool.messages import CopyJob, FileSpec, TapeInfo
 from repro.pftool.stats import JobStats
 from repro.sim import Environment
 
@@ -130,7 +130,7 @@ def test_tape_info_orders_by_volume_and_seq():
         "/src/c": TapeLocation(3, "/src/c", "fs", "V2", 1, 10),
     }
     m.pending_lookups = 1
-    m._on_tape_info((entries, locs))
+    m._on_tape_info(TapeInfo(tuple(entries), locs))
     assert [j.volume for j in m.tape_q] == ["V1", "V2"]
     v2 = [j for j in m.tape_q if j.volume == "V2"][0]
     assert [e[2] for e in v2.entries] == [1, 5]  # ascending seq
@@ -150,7 +150,7 @@ def test_tape_info_unordered_mode_keeps_arrival_order():
         "/src/c": TapeLocation(3, "/src/c", "fs", "V2", 1, 10),
     }
     m.pending_lookups = 1
-    m._on_tape_info((entries, locs))
+    m._on_tape_info(TapeInfo(tuple(entries), locs))
     v2 = m.tape_q[0]
     assert [e[2] for e in v2.entries] == [5, 1]  # arrival order preserved
 
@@ -160,6 +160,8 @@ def test_tape_info_missing_location_counts_failure():
     m = make_manager(env)
     m.pending_lookups = 1
     m.ctx = m.ctx  # no tsm fallback configured
-    m._on_tape_info(([("/src/ghost", 9, 10, "/dst/ghost")], {"/src/ghost": None}))
+    m._on_tape_info(
+        TapeInfo((("/src/ghost", 9, 10, "/dst/ghost"),), {"/src/ghost": None})
+    )
     assert m.stats.files_failed == 1
     assert len(m.tape_q) == 0

@@ -14,7 +14,11 @@ from typing import Optional, Sequence
 from repro.analysis.core import LintResult, Rule, run_lint
 from repro.analysis.rules_determinism import DeterminismRule
 from repro.analysis.rules_protocol import PayloadSchemaRule, ProtocolRule
-from repro.analysis.rules_queues import BlockingReceiveRule, QueueDisciplineRule
+from repro.analysis.rules_queues import (
+    BlockingReceiveRule,
+    QueueComplexityRule,
+    QueueDisciplineRule,
+)
 
 __all__ = ["default_rules", "main"]
 
@@ -26,6 +30,7 @@ def default_rules() -> list[Rule]:
         QueueDisciplineRule(),
         PayloadSchemaRule(),
         BlockingReceiveRule(),
+        QueueComplexityRule(),
     ]
 
 
@@ -33,7 +38,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="Static checks for repro's determinism, protocol and "
-        "queue-discipline invariants (RA001-RA005).",
+        "queue-discipline invariants (RA001-RA006).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

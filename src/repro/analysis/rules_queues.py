@@ -1,4 +1,4 @@
-"""RA003/RA005 — single-writer queues and cancellable receives.
+"""RA003/RA005/RA006 — queue discipline, cancellable receives, queue cost.
 
 RA003 *queue discipline*: the Manager's work queues (``dir_q``,
 ``copy_q``, the ``idle`` rank pools, …) are single-writer state.  Worker
@@ -7,6 +7,14 @@ Manager's outstanding-work accounting (``out_dir``/``out_copy``…), which
 is exactly how quiescence detection goes wrong.  Any mutation of a
 Manager-owned queue attribute outside the ``Manager`` class body is
 flagged.
+
+RA006 *queue complexity*: the engine's performance contract (see
+:mod:`repro.sim.resources`) says wait queues are deques consumed with
+``popleft`` and cancellation is tombstone-based.  A ``queue.pop(0)`` or
+``queue.remove(x)`` on a known queue attribute inside the engine
+packages (``repro/sim/``, ``repro/netsim/``) silently reintroduces the
+O(n^2) mass-cancel / drain behaviour PR 3 removed, so it is flagged at
+lint time.
 
 RA005 *blocking receive*: a ``comm.recv(...)`` / ``store.get(...)``
 raced against another event (``yield get | other``) must be cancelled
@@ -22,7 +30,13 @@ from typing import Iterator, Optional
 
 from repro.analysis.core import Finding, ModuleInfo, Rule
 
-__all__ = ["BlockingReceiveRule", "MANAGER_OWNED_QUEUES", "QueueDisciplineRule"]
+__all__ = [
+    "BlockingReceiveRule",
+    "ENGINE_QUEUE_ATTRS",
+    "MANAGER_OWNED_QUEUES",
+    "QueueComplexityRule",
+    "QueueDisciplineRule",
+]
 
 #: Manager attributes that hold queued work or rank pools
 MANAGER_OWNED_QUEUES = frozenset(
@@ -236,3 +250,65 @@ class BlockingReceiveRule(Rule):
                 call.lineno,
                 call.col_offset,
             )
+
+
+#: engine wait-queue attributes covered by the O(1) performance contract
+ENGINE_QUEUE_ATTRS = frozenset(
+    {
+        "_getq",
+        "_putq",
+        "_gets",
+        "_puts",
+        "_waiters",
+        "_queue",
+        "_call_pool",
+        "_mailboxes",
+    }
+)
+
+
+class QueueComplexityRule(Rule):
+    code = "RA006"
+    name = "queue-complexity"
+
+    #: path fragments of the packages the performance contract covers
+    engine_paths = ("repro/sim/", "repro/netsim/")
+
+    def __init__(self, attrs: frozenset[str] = ENGINE_QUEUE_ATTRS) -> None:
+        self.attrs = attrs
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        relpath = module.relpath.replace("\\", "/")
+        if not any(fragment in relpath for fragment in self.engine_paths):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = _owned_attr(node.func.value, self.attrs)
+            if attr is None:
+                continue
+            meth = node.func.attr
+            if meth == "remove":
+                yield Finding(
+                    self.code,
+                    f"O(n) {attr}.remove() on an engine wait queue; cancel "
+                    "lazily with a tombstone (callbacks = None) and let the "
+                    "queue sweep/compact (see repro.sim.resources)",
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                )
+            elif meth == "pop" and node.args:
+                # deque/list .pop() from the tail is fine; any indexed pop
+                # shifts the remainder and is O(n) per dequeue
+                yield Finding(
+                    self.code,
+                    f"O(n) {attr}.pop(i) on an engine wait queue; use a "
+                    "deque with popleft()",
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                )

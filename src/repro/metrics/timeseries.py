@@ -88,8 +88,9 @@ def link_utilization_probe(fabric, link_name: str) -> Callable[[], float]:
     link = fabric.links[link_name]
 
     def probe() -> float:
+        # iter_flows: live dict view, no per-sample list allocation
         used = sum(
-            f.rate for f in fabric.active_flows
+            f.rate for f in fabric.iter_flows()
             if link in f.links and f.rate != float("inf")
         )
         return used / link.capacity if link.capacity else 0.0

@@ -79,15 +79,14 @@ class SimComm:
         msg = Message(src, dst, tag, payload)
         if self.monitor is not None:
             self.monitor.on_send(self, msg)
+        # Mailboxes are unbounded, so the non-waiting put always succeeds;
+        # call_later recycles its timer event, making a send one heap push
+        # instead of a Process + init event + Timeout + put event.
+        mailbox = self._mailboxes[dst]
         if self.latency > 0:
-
-            def _deliver():
-                yield self.env.timeout(self.latency)
-                yield self._mailboxes[dst].put(msg)
-
-            self.env.process(_deliver(), name=f"mpi-send-{src}->{dst}")
+            self.env.call_later(self.latency, lambda: mailbox.put_nowait(msg))
         else:
-            self._mailboxes[dst].put(msg)
+            mailbox.put_nowait(msg)
 
     def recv(
         self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG

@@ -11,12 +11,13 @@ contention rather than being hard-coded: e.g. Figure 10's ~75% utilisation
 of a 2x10GigE trunk arises from many PFTool workers sharing the trunk links.
 
 Public surface: :class:`Fabric`, :class:`Link`, :class:`Flow`,
-:func:`max_min_fair_rates`, plus topology builders in
-:mod:`repro.netsim.topology`.
+:func:`max_min_fair_rates` (the batch reference solver) and
+:class:`MaxMinAllocator` (its incremental equivalent driving the fabric),
+plus topology builders in :mod:`repro.netsim.topology`.
 """
 
 from repro.netsim.fabric import Fabric, Flow, Link, TransferResult
-from repro.netsim.maxmin import max_min_fair_rates
+from repro.netsim.maxmin import MaxMinAllocator, max_min_fair_rates
 from repro.netsim.topology import ArchiveSiteTopology, build_archive_site
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "Fabric",
     "Flow",
     "Link",
+    "MaxMinAllocator",
     "TransferResult",
     "build_archive_site",
     "max_min_fair_rates",

@@ -3,8 +3,12 @@
 A :class:`Fabric` owns nodes and directed :class:`Link` s.  Data movement is
 expressed as :meth:`Fabric.transfer` (a DES process event) or as a long-lived
 :class:`Flow` opened/closed explicitly.  Every flow arrival or departure
-triggers a global re-allocation via :func:`max_min_fair_rates`; in-flight
-flows have their accrued bytes banked and their completion re-projected.
+marks the touched route dirty on the incremental
+:class:`~repro.netsim.maxmin.MaxMinAllocator`; rates are settled lazily (at
+most one solve per simulated instant, restricted to the affected allocation
+components) before the engine projects completions or an external caller
+reads them.  In-flight flows have their accrued bytes banked at the rates
+that were in force and their completion re-projected.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
-from repro.netsim.maxmin import max_min_fair_rates
+from repro.netsim.maxmin import MaxMinAllocator
 from repro.sim import Environment, Event
 
 __all__ = ["Fabric", "Flow", "Link", "TransferResult"]
@@ -138,8 +142,10 @@ class Fabric:
     * Routing is static shortest-path (hop count, then total latency, then
       lexicographic link names for determinism), computed on demand and
       cached.  Explicit routes can be registered with :meth:`set_route`.
-    * Rate re-allocation is O(flows x avg route length) per flow event —
-      fine at archive scale (tens to hundreds of concurrent movers).
+    * Rate re-allocation is incremental: a flow event dirties only its own
+      route and the next settle re-solves only the affected allocation
+      components (O(component) rather than O(all flows x all links)), with
+      same-instant events coalesced into a single solve.
     """
 
     def __init__(self, env: Environment, name: str = "fabric") -> None:
@@ -153,8 +159,18 @@ class Fabric:
         self._fid = itertools.count(1)
         #: cumulative bytes delivered, for utilisation accounting
         self.bytes_delivered = 0.0
+        self._alloc = MaxMinAllocator()
         self._completion_proc_running = False
         self._wakeup: Optional[Event] = None
+        #: last simulated instant progress was banked (same-instant skip)
+        self._last_bank = float("-inf")
+        #: flows whose ``remaining`` hit zero since the last retire sweep
+        self._finished = 0
+
+    @property
+    def rate_recomputes(self) -> int:
+        """Number of fair-share solves performed (perf accounting)."""
+        return self._alloc.solves
 
     # ------------------------------------------------------------------
     # topology
@@ -182,12 +198,14 @@ class Fabric:
         fwd = Link(base, src, dst, capacity, latency)
         self.links[base] = fwd
         self._adj[src].append(fwd)
+        self._alloc.set_capacity(base, capacity)
         rev = None
         if duplex:
             rname = f"{dst}->{src}" if name is None else f"{name}:rev"
             rev = Link(rname, dst, src, capacity, latency)
             self.links[rname] = rev
             self._adj[dst].append(rev)
+            self._alloc.set_capacity(rname, capacity)
         self._route_cache.clear()
         return fwd, rev
 
@@ -206,6 +224,7 @@ class Fabric:
         except KeyError:
             raise KeyError(f"no link named {name!r}") from None
         link.capacity = float(capacity)
+        self._alloc.set_capacity(name, capacity)
         self._reallocate()
 
     def set_route(self, src: str, dst: str, links: Iterable[Link]) -> None:
@@ -264,7 +283,17 @@ class Fabric:
     # ------------------------------------------------------------------
     @property
     def active_flows(self) -> list[Flow]:
+        """Snapshot of the active flows (rates settled), for external
+        callers that may hold or mutate the list."""
+        self._flush_rates()
         return list(self._flows.values())
+
+    def iter_flows(self):
+        """Live view of the active flows (rates settled) — the hot-path
+        accessor: no list is allocated, so callers must not open or close
+        flows while iterating."""
+        self._flush_rates()
+        return self._flows.values()
 
     def transfer(
         self,
@@ -289,15 +318,13 @@ class Fabric:
 
         if nbytes == 0 or (not links and rate_cap == float("inf")):
             # Instantaneous (modulo latency) completion.
-            def _finish_quick() -> Iterable[Event]:
-                if latency > 0:
-                    yield self.env.timeout(latency)
+            def _finish_quick() -> None:
                 done.succeed(
                     TransferResult(src, dst, int(nbytes), start, self.env.now, tag)
                 )
                 self.bytes_delivered += nbytes
 
-            self.env.process(_finish_quick(), name=f"xfer-quick-{src}->{dst}")
+            self.env.call_later(latency, _finish_quick)
             return done
 
         flow = Flow(
@@ -313,64 +340,100 @@ class Fabric:
             start=start,
         )
 
-        def _run() -> Iterable[Event]:
-            if latency > 0:
-                yield self.env.timeout(latency)
+        def _register() -> None:
             flow.start = self.env.now
             flow._last_update = self.env.now
             self._flows[flow.fid] = flow
+            rate = self._alloc.add_flow(
+                flow.fid,
+                [lk.name for lk in links],
+                weight=flow.weight,
+                rate_cap=flow.rate_cap,
+            )
+            if rate is not None:
+                # Short-circuit: this flow shares no link, its rate is
+                # settled and nobody else's allocation moved.
+                flow.rate = rate
+            if flow.remaining <= EPS_BYTES:
+                self._finished += 1
             self._reallocate()
-            yield done  # completion is driven by the engine process
 
-        self.env.process(_run(), name=f"xfer-{src}->{dst}")
+        # Completion is driven by the engine process; registration needs no
+        # process of its own — one recycled timer replaces the per-transfer
+        # Process + init event + Timeout triple.
+        self.env.call_later(latency, _register)
         return done
 
     # ------------------------------------------------------------------
     # engine
     # ------------------------------------------------------------------
     def _bank_progress(self) -> None:
-        """Accrue bytes sent at current rates since the last update."""
+        """Accrue bytes sent at current rates since the last update.
+
+        Same-instant calls after the first are skipped entirely: banking
+        over dt == 0 moves no bytes (infinite-rate flows, the one dt == 0
+        exception, are drained by the engine's zero-dt branch at the same
+        instant), so a burst of flow events at one timestamp pays a single
+        O(flows) sweep.
+        """
         now = self.env.now
+        if now == self._last_bank:
+            return
+        self._last_bank = now
+        inf = float("inf")
+        delivered = 0.0
+        finished = 0
         for flow in self._flows.values():
             dt = now - flow._last_update
-            if flow.rate == float("inf"):
-                moved = flow.remaining
+            if flow.rate == inf:
+                delivered += flow.remaining
                 flow.remaining = 0.0
-                self.bytes_delivered += moved
+                finished += 1
             elif dt > 0 and flow.rate > 0:
                 moved = min(flow.remaining, flow.rate * dt)
                 flow.remaining -= moved
-                self.bytes_delivered += moved
+                delivered += moved
                 if flow.remaining <= EPS_BYTES:
-                    self.bytes_delivered += flow.remaining
+                    delivered += flow.remaining
                     flow.remaining = 0.0
+                    finished += 1
             flow._last_update = now
+        self.bytes_delivered += delivered
+        self._finished += finished
 
     def _reallocate(self) -> None:
-        """Recompute fair rates and poke the completion engine."""
+        """Bank progress, retire finished flows and poke the engine.
+
+        Fair rates are *not* recomputed here: the event only dirties the
+        allocator, and the solve happens at most once per simulated
+        instant — in :meth:`_flush_rates`, before the engine projects the
+        next completion or an external caller reads flow rates.  Banked
+        bytes are unaffected because no time passes in between.
+        """
         self._bank_progress()
         self._retire_finished()
-        self._recompute_rates()
         self._kick_engine()
 
     def _retire_finished(self) -> None:
+        if not self._finished:
+            return  # nothing hit zero since the last sweep: skip the scan
+        self._finished = 0
         for f in [f for f in self._flows.values() if f.remaining <= EPS_BYTES]:
             del self._flows[f.fid]
+            self._alloc.remove_flow(f.fid)
             f.done.succeed(
                 TransferResult(f.src, f.dst, int(f.nbytes), f.start, self.env.now, f.tag)
             )
 
-    def _recompute_rates(self) -> None:
-        if not self._flows:
+    def _flush_rates(self) -> None:
+        """Settle any pending re-allocation (affected components only)."""
+        if not self._alloc.dirty:
             return
-        rates = max_min_fair_rates(
-            {f.fid: [lk.name for lk in f.links] for f in self._flows.values()},
-            {name: lk.capacity for name, lk in self.links.items()},
-            flow_weight={f.fid: f.weight for f in self._flows.values()},
-            rate_cap={f.fid: f.rate_cap for f in self._flows.values()},
-        )
-        for f in self._flows.values():
-            f.rate = rates[f.fid]
+        flows = self._flows
+        for fid, rate in self._alloc.flush().items():
+            flow = flows.get(fid)
+            if flow is not None:
+                flow.rate = rate
 
     def _kick_engine(self) -> None:
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -380,10 +443,13 @@ class Fabric:
             self.env.process(self._engine(), name=f"{self.name}-engine")
 
     def _next_completion(self) -> float:
+        self._flush_rates()
         t = float("inf")
         for f in self._flows.values():
             if f.rate > 0:
-                t = min(t, f.remaining / f.rate)
+                dt = f.remaining / f.rate
+                if dt < t:
+                    t = dt
         return t
 
     def _engine(self) -> Iterable[Event]:
@@ -407,16 +473,22 @@ class Fabric:
                         if f.rate > 0 and f.remaining / f.rate <= dt * (1 + 1e-9):
                             self.bytes_delivered += f.remaining
                             f.remaining = 0.0
+                            self._finished += 1
                     self._retire_finished()
-                    self._recompute_rates()
                     continue
-                self._wakeup = self.env.event()
-                expiry = self.env.timeout(dt)
-                yield expiry | self._wakeup
+                # Sleep until the projected completion OR an early kick from
+                # _reallocate.  A recycled kernel timer pokes the wakeup
+                # event instead of a Timeout | Event AnyOf condition (three
+                # allocations per engine cycle); a stale timer finds its
+                # event already triggered and does nothing.
+                self._wakeup = wake = self.env.event()
+                self.env.call_later(
+                    dt, lambda wake=wake: None if wake.triggered else wake.succeed(None)
+                )
+                yield wake
                 self._wakeup = None
                 self._bank_progress()
                 self._retire_finished()
-                self._recompute_rates()
         finally:
             self._completion_proc_running = False
 

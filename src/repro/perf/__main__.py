@@ -1,0 +1,89 @@
+"""CLI for the engine microbenchmark suite.
+
+Examples
+--------
+Run everything and write the trajectory file::
+
+    python -m repro.perf --out benchmarks/results/BENCH_kernel.json
+
+CI perf-smoke: run, then fail on simulated-headline drift against the
+committed goldens::
+
+    python -m repro.perf --out /tmp/bench.json \
+        --check benchmarks/results/BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.perf import (
+    SCENARIOS,
+    compare_headlines,
+    dump_report,
+    format_report,
+    load_report,
+    run_suite,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Engine events/sec + wall-clock microbenchmarks "
+        "(emits BENCH_kernel.json).",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--check", metavar="GOLDEN", default=None,
+        help="compare simulated headline numbers against a golden report; "
+        "exit 1 on any drift",
+    )
+    parser.add_argument(
+        "--scenarios", metavar="NAMES", default=None,
+        help="comma-separated subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf import _ensure_scenarios_loaded
+
+    _ensure_scenarios_loaded()
+    if args.list:
+        for name, fn in SCENARIOS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<16} {doc}")
+        return 0
+
+    names = None
+    if args.scenarios:
+        names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+
+    report = run_suite(names)
+    print(format_report(report))
+
+    if args.out:
+        dump_report(report, args.out)
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        golden = load_report(args.check)
+        drift = compare_headlines(report, golden)
+        if drift:
+            print(f"\nHEADLINE DRIFT vs {args.check}:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nheadlines match {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

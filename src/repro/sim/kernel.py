@@ -165,6 +165,29 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
+#: upper bound on recycled :class:`_ScheduledCall` instances per environment
+_CALL_POOL_MAX = 1024
+
+
+class _ScheduledCall(Event):
+    """Kernel-owned one-shot timer that invokes a function when popped.
+
+    Created only by :meth:`Environment.call_later`; user code never holds a
+    reference, so :meth:`Environment.step` can recycle instances through
+    ``Environment._call_pool`` instead of allocating a Timeout + Process +
+    init-Event triple for every fire-and-forget delay.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        self._fn: Optional[Callable[[], None]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_ScheduledCall fn={self._fn!r} at {id(self):#x}>"
+
+
 class _ConditionValue(dict):
     """Ordered mapping of event -> value for AllOf/AnyOf results."""
 
@@ -344,12 +367,29 @@ class Environment:
         Starting value of :attr:`now` (seconds).
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active",
+        "_crashed",
+        "_call_pool",
+        "events_processed",
+        "peak_queue_len",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
+        #: free-list of recycled :class:`_ScheduledCall` events
+        self._call_pool: list[_ScheduledCall] = []
+        #: total events popped by :meth:`step` (perf accounting)
+        self.events_processed = 0
+        #: high-water mark of the event heap (perf accounting)
+        self.peak_queue_len = 0
 
     # -- clock ---------------------------------------------------------
     @property
@@ -380,10 +420,32 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def call_later(
+        self, delay: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> None:
+        """Schedule plain *fn* to run after *delay* simulated seconds.
+
+        Fire-and-forget fast path for kernel-internal timers (e.g. message
+        delivery): no :class:`Process` is spawned and the backing
+        :class:`_ScheduledCall` event is recycled through a free-list, so a
+        polling/delivery loop costs one heap push instead of three event
+        allocations.  The event is kernel-owned and never exposed, which is
+        what makes recycling safe.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay {delay!r}")
+        pool = self._call_pool
+        ev = pool.pop() if pool else _ScheduledCall(self)
+        ev._fn = fn
+        self._schedule(ev, priority, delay)
+
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        q = self._queue
+        heapq.heappush(q, (self._now + delay, priority, self._seq, event))
+        if len(q) > self.peak_queue_len:
+            self.peak_queue_len = len(q)
 
     def _crash(self, exc: BaseException) -> None:
         if self._crashed is None:
@@ -399,12 +461,21 @@ class Environment:
             raise SimulationError("no scheduled events")
         t, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = t
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
-        if callbacks:
-            for cb in callbacks:
-                cb(event)
+        self.events_processed += 1
+        if type(event) is _ScheduledCall:
+            # Kernel-owned timer: invoke and recycle, no callback machinery.
+            fn = event._fn
+            event._fn = None
+            if len(self._call_pool) < _CALL_POOL_MAX:
+                self._call_pool.append(event)
+            fn()
+        else:
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
         if self._crashed is not None:
             exc = self._crashed
             self._crashed = None

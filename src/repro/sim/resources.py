@@ -7,11 +7,22 @@ These follow SimPy's request/release and put/get protocols:
 
 All wait queues are strict FIFO (or priority-then-FIFO) so that simulations
 are deterministic.
+
+Performance contract (the engine fast path relies on it):
+
+* every put/get/request/release/cancel is amortised O(1) — FIFO queues are
+  deques consumed with ``popleft``, never ``list.pop(0)``/``list.remove``;
+* cancellation is *lazy*: a withdrawn waiter becomes a tombstone
+  (``callbacks = None``) that the owning queue sweeps when it surfaces, and
+  queues compact themselves when tombstones outnumber live waiters, so mass
+  cancellation (10k parked receives) costs O(n), not O(n^2);
+* waiter counts are cached (:attr:`Resource.queue_len` is O(1)).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.sim.kernel import Environment, Event, SimulationError
@@ -75,6 +86,8 @@ class Resource:
         self.users: list[Request] = []
         #: waiting requests as a heap of (priority, seq, request)
         self._waiters: list[tuple[int, int, Request]] = []
+        #: live (untriggered, uncancelled) entries in the waiter heap
+        self._nwaiting = 0
 
     # -- public --------------------------------------------------------
     @property
@@ -84,8 +97,8 @@ class Resource:
 
     @property
     def queue_len(self) -> int:
-        """Number of requests waiting for a slot."""
-        return sum(1 for _, _, r in self._waiters if not r.triggered)
+        """Number of requests waiting for a slot (O(1): cached count)."""
+        return self._nwaiting
 
     def request(self, priority: int = 0) -> Request:
         return Request(self, priority)
@@ -99,8 +112,9 @@ class Resource:
         try:
             self.users.remove(request)
         except ValueError:
-            if not request.triggered:
+            if not request.triggered and request.callbacks is not None:
                 request.callbacks = None
+                self._nwaiting -= 1
             return
         self._grant()
 
@@ -108,14 +122,16 @@ class Resource:
     def _enqueue(self, request: Request) -> None:
         self._seq += 1
         heapq.heappush(self._waiters, (request.priority, self._seq, request))
+        self._nwaiting += 1
         self._grant()
 
     def _grant(self) -> None:
         while self._waiters and len(self.users) < self.capacity:
             _, _, req = heapq.heappop(self._waiters)
-            if req.callbacks is None:  # cancelled
+            if req.callbacks is None:  # cancelled tombstone
                 continue
             self.users.append(req)
+            self._nwaiting -= 1
             req.succeed(self)
 
     def __repr__(self) -> str:
@@ -148,8 +164,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._puts: list[tuple[Event, float]] = []
-        self._gets: list[tuple[Event, float]] = []
+        self._puts: deque[tuple[Event, float]] = deque()
+        self._gets: deque[tuple[Event, float]] = deque()
 
     @property
     def level(self) -> float:
@@ -180,14 +196,14 @@ class Container:
             if self._puts:
                 ev, amt = self._puts[0]
                 if self._level + amt <= self.capacity:
-                    self._puts.pop(0)
+                    self._puts.popleft()
                     self._level += amt
                     ev.succeed(amt)
                     progress = True
             if self._gets:
                 ev, amt = self._gets[0]
                 if amt <= self._level:
-                    self._gets.pop(0)
+                    self._gets.popleft()
                     self._level -= amt
                     ev.succeed(amt)
                     progress = True
@@ -199,13 +215,16 @@ class Container:
 class StoreGet(Event):
     """Pending retrieval from a :class:`Store`.
 
-    Supports :meth:`cancel` to *eagerly* withdraw an unused get.  Merely
-    clearing ``callbacks`` leaves the getter queued: until the store's
-    next settle pass sweeps it, :meth:`Store._do_get` could hand it an
-    item that nobody will ever read (a receive that swallows a message —
-    exactly how PFTool's WatchDog used to lose its ``Exit``).  ``cancel``
-    removes the getter from the queue immediately so no item can be
-    routed to it.
+    Supports :meth:`cancel` to withdraw an unused get in O(1): the getter
+    becomes a *tombstone* (``callbacks = None``) that stays queued until a
+    settle pass surfaces it.  Correctness hinges on the sweep happening
+    **before** :meth:`Store._do_get` is consulted — a cancelled getter
+    must never be handed an item nobody will ever read (a receive that
+    swallows a message is exactly how PFTool's WatchDog used to lose its
+    ``Exit``).  :meth:`Store._settle` checks for tombstones first, and the
+    store compacts its get-queue when tombstones outnumber live waiters,
+    so mass cancellation is amortised O(1) per cancel instead of the old
+    O(n) ``list.remove``.
     """
 
     __slots__ = ("store",)
@@ -216,13 +235,13 @@ class StoreGet(Event):
 
     def cancel(self) -> None:
         """Withdraw this get (no-op once an item has been delivered)."""
-        if self.triggered:
+        if self.triggered or self.callbacks is None:
             return
         self.callbacks = None
-        try:
-            self.store._getq.remove(self)
-        except ValueError:
-            pass
+        store = self.store
+        store._cancelled += 1
+        if store._cancelled > 16 and store._cancelled * 2 > len(store._getq):
+            store._compact_getq()
 
 
 class Store:
@@ -234,8 +253,10 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.items: list[Any] = []
-        self._putq: list[tuple[Event, Any]] = []
-        self._getq: list[StoreGet] = []
+        self._putq: deque[tuple[Event, Any]] = deque()
+        self._getq: deque[StoreGet] = deque()
+        #: cancelled-but-unswept getters still sitting in ``_getq``
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -245,6 +266,19 @@ class Store:
         self._putq.append((ev, item))
         self._settle()
         return ev
+
+    def put_nowait(self, item: Any) -> bool:
+        """Deposit *item* if capacity allows, without allocating a put event.
+
+        Fast path for fire-and-forget producers (e.g. message delivery
+        timers) that never wait on the put.  Returns False when the store
+        is full — the caller must then fall back to :meth:`put`.
+        """
+        if len(self.items) >= self.capacity:
+            return False
+        self._do_put(item)
+        self._settle()
+        return True
 
     def get(self) -> StoreGet:
         ev = StoreGet(self)
@@ -268,27 +302,54 @@ class Store:
         while progress:
             progress = False
             while self._putq and len(self.items) < self.capacity:
-                ev, item = self._putq.pop(0)
+                ev, item = self._putq.popleft()
                 self._do_put(item)
                 ev.succeed(None)
                 progress = True
-            i = 0
-            while i < len(self._getq):
-                getter = self._getq[i]
-                if getter.callbacks is None or getter.triggered:
-                    self._getq.pop(i)
-                    progress = True
-                    continue
-                if self._do_get(getter):
-                    self._getq.pop(i)
-                    progress = True
-                else:
-                    i += 1
-                    if type(self) is Store:
-                        break  # plain FIFO store: head blocks the rest
+            getq = self._getq
+            if type(self) is Store:
+                # Plain FIFO store: only the head getter may be served, so
+                # sweep tombstones off the head until a live one blocks.
+                while getq:
+                    getter = getq[0]
+                    if getter.callbacks is None or getter.triggered:
+                        getq.popleft()
+                        if not getter.triggered:
+                            self._cancelled -= 1
+                        progress = True
+                        continue
+                    if self._do_get(getter):
+                        getq.popleft()
+                        progress = True
+                    else:
+                        break
+            else:
+                # Predicate/priority stores: every live getter gets a look.
+                # One full rotation preserves FIFO order of the survivors;
+                # tombstones (cancel happened before this sweep) are dropped
+                # *before* _do_get so no item is routed to a dead receiver.
+                for _ in range(len(getq)):
+                    getter = getq.popleft()
+                    if getter.callbacks is None or getter.triggered:
+                        if not getter.triggered:
+                            self._cancelled -= 1
+                        progress = True
+                        continue
+                    if self._do_get(getter):
+                        progress = True
+                    else:
+                        getq.append(getter)
+
+    def _compact_getq(self) -> None:
+        """Rebuild ``_getq`` without tombstones (triggered entries too)."""
+        self._getq = deque(
+            g for g in self._getq if g.callbacks is not None and not g.triggered
+        )
+        self._cancelled = 0
 
     def __repr__(self) -> str:
-        return f"<{type(self).__name__} items={len(self.items)} waiters={len(self._getq)}>"
+        waiters = len(self._getq) - self._cancelled
+        return f"<{type(self).__name__} items={len(self.items)} waiters={waiters}>"
 
 
 class _FilterGet(StoreGet):

@@ -14,7 +14,11 @@ from repro.analysis.core import run_lint
 from repro.analysis.lint import default_rules, main
 from repro.analysis.rules_determinism import DeterminismRule
 from repro.analysis.rules_protocol import PayloadSchemaRule, ProtocolRule
-from repro.analysis.rules_queues import BlockingReceiveRule, QueueDisciplineRule
+from repro.analysis.rules_queues import (
+    BlockingReceiveRule,
+    QueueComplexityRule,
+    QueueDisciplineRule,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -259,3 +263,48 @@ def test_shipped_tree_lints_clean():
     )
     assert result.ok, "\n".join(f.format() for f in result.findings)
     assert result.files_checked > 50
+
+
+# ---------------------------------------------------------------- RA006
+def test_ra006_flags_indexed_pop_and_remove_in_engine(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "class Store:\n"
+        "    def cancel(self, g):\n"
+        "        self._getq.remove(g)\n"
+        "    def drain(self):\n"
+        "        return self._putq.pop(0)\n",
+        [QueueComplexityRule()],
+        name="repro/sim/bad_store.py",
+    )
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 2
+    assert any("_getq.remove" in m and "tombstone" in m for m in messages)
+    assert any("_putq.pop" in m and "popleft" in m for m in messages)
+
+
+def test_ra006_allows_o1_queue_idioms(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "class Store:\n"
+        "    def ok(self, g):\n"
+        "        self._getq.append(g)\n"
+        "        self._getq.popleft()\n"
+        "        self._call_pool.pop()\n"  # tail pop is O(1)
+        "        self.users.remove(g)\n",  # not a covered queue attribute
+        [QueueComplexityRule()],
+        name="repro/netsim/good.py",
+    )
+    assert result.findings == []
+
+
+def test_ra006_only_covers_engine_packages(tmp_path):
+    result = lint_source(
+        tmp_path,
+        "def helper(q):\n"
+        "    q._getq.remove(1)\n"
+        "    q._getq.pop(0)\n",
+        [QueueComplexityRule()],
+        name="repro/pftool/elsewhere.py",
+    )
+    assert result.findings == []

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netsim import max_min_fair_rates
+from repro.netsim import MaxMinAllocator, max_min_fair_rates
 
 
 def test_single_flow_gets_link_capacity():
@@ -148,3 +148,124 @@ def test_allocation_scales_with_capacity(scenario, factor):
     scaled = max_min_fair_rates(flows, {k: v * factor for k, v in links.items()})
     for fid in flows:
         assert scaled[fid] == pytest.approx(base[fid] * factor, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# incremental allocator == batch oracle
+# ---------------------------------------------------------------------------
+
+def _oracle(alloc: MaxMinAllocator) -> dict:
+    """Batch-solve the allocator's current state with the reference solver."""
+    flows, caps, weights, rate_caps = {}, {}, {}, {}
+    for lk, cap in alloc._caps.items():
+        if isinstance(lk, tuple) and lk[0] == "__cap__":
+            rate_caps[lk[1]] = cap
+        else:
+            caps[lk] = cap
+    for fid, route in alloc._flow_links.items():
+        flows[fid] = [
+            lk for lk in route if not (isinstance(lk, tuple) and lk[0] == "__cap__")
+        ]
+        weights[fid] = alloc._weights[fid]
+    return max_min_fair_rates(flows, caps, rate_cap=rate_caps, flow_weight=weights)
+
+
+def _assert_matches_oracle(alloc: MaxMinAllocator) -> None:
+    alloc.flush()
+    want = _oracle(alloc)
+    assert set(alloc.rates) == set(want)
+    for fid, rate in want.items():
+        got = alloc.rates[fid]
+        if rate == float("inf"):
+            assert got == rate, f"flow {fid}: {got} != inf"
+        else:
+            assert got == pytest.approx(rate, rel=1e-9), f"flow {fid}"
+
+
+def test_incremental_matches_batch_parking_lot():
+    alloc = MaxMinAllocator()
+    alloc.set_capacity("l1", 10.0)
+    alloc.set_capacity("l2", 10.0)
+    alloc.add_flow(1, ["l1", "l2"])
+    alloc.add_flow(2, ["l1"])
+    alloc.add_flow(3, ["l2"])
+    _assert_matches_oracle(alloc)
+    assert alloc.rates[1] == pytest.approx(5.0)
+
+
+def test_incremental_tracks_capacity_change():
+    alloc = MaxMinAllocator()
+    alloc.set_capacity("trunk", 100.0)
+    alloc.add_flow(1, ["trunk"])
+    alloc.add_flow(2, ["trunk"])
+    alloc.flush()
+    assert alloc.rates[1] == pytest.approx(50.0)
+    alloc.set_capacity("trunk", 40.0)  # degrade mid-run
+    _assert_matches_oracle(alloc)
+    assert alloc.rates[2] == pytest.approx(20.0)
+
+
+def test_short_circuit_lone_flow_needs_no_solve():
+    alloc = MaxMinAllocator()
+    alloc.set_capacity("a", 7.0)
+    rate = alloc.add_flow(1, ["a"])
+    assert rate == pytest.approx(7.0)  # settled immediately, no dirty links
+    before = alloc.solves
+    alloc.flush()
+    assert alloc.solves == before  # nothing to do
+
+
+@st.composite
+def _op_sequences(draw):
+    """A link set plus an interleaved add/remove/recap operation script."""
+    n_links = draw(st.integers(1, 5))
+    links = {f"l{i}": draw(st.floats(1.0, 1e4)) for i in range(n_links)}
+    n_ops = draw(st.integers(1, 14))
+    ops = []
+    next_fid = 0
+    live = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["add", "add", "add", "remove", "recap"]))
+        if kind == "add":
+            k = draw(st.integers(0, n_links))
+            route = draw(
+                st.lists(
+                    st.sampled_from(sorted(links)), min_size=k, max_size=k, unique=True
+                )
+            )
+            weight = draw(st.floats(0.1, 8.0))
+            cap = draw(st.one_of(st.just(float("inf")), st.floats(0.5, 5e3)))
+            ops.append(("add", next_fid, route, weight, cap))
+            live.append(next_fid)
+            next_fid += 1
+        elif kind == "remove" and live:
+            fid = draw(st.sampled_from(live))
+            live.remove(fid)
+            ops.append(("remove", fid))
+        elif kind == "recap":
+            lk = draw(st.sampled_from(sorted(links)))
+            ops.append(("recap", lk, draw(st.floats(1.0, 1e4))))
+    return links, ops
+
+
+@given(_op_sequences(), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_incremental_equals_batch_over_random_histories(script, flush_every_op):
+    """The dirty-component solver must agree with the full batch solve after
+    any interleaving of flow arrivals/departures and capacity changes —
+    whether rates are settled after every event or lazily at the end."""
+    links, ops = script
+    alloc = MaxMinAllocator()
+    for lk, cap in links.items():
+        alloc.set_capacity(lk, cap)
+    for op in ops:
+        if op[0] == "add":
+            _, fid, route, weight, cap = op
+            alloc.add_flow(fid, route, weight=weight, rate_cap=cap)
+        elif op[0] == "remove":
+            alloc.remove_flow(op[1])
+        else:
+            alloc.set_capacity(op[1], op[2])
+        if flush_every_op:
+            _assert_matches_oracle(alloc)
+    _assert_matches_oracle(alloc)

@@ -1,0 +1,168 @@
+"""Stdlib-only line coverage for the repro tree.
+
+CI measures coverage with ``pytest-cov``; this module is the local,
+zero-dependency equivalent so the ratchet number in ``ci.yml`` can be
+reproduced (and re-derived after a refactor) on a bare interpreter::
+
+    PYTHONPATH=src python -m repro.analysis.coverage -q tests
+
+It installs a :func:`sys.settrace` hook that records executed lines for
+files under ``src/repro`` only (frames outside the tree opt out of line
+tracing entirely, which keeps the slowdown tolerable), runs pytest on
+the given arguments, and prints a per-package table against the set of
+*executable* lines derived from each module's compiled code objects —
+the same universe ``coverage.py`` uses, so the two agree to within a
+fraction of a percent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from types import CodeType
+
+__all__ = ["LineCoverage", "executable_lines", "main"]
+
+
+def executable_lines(path: str) -> set:
+    """Line numbers that can execute in *path*, per the compiled code.
+
+    Walks the module code object and every nested code constant
+    (functions, comprehensions, class bodies) collecting ``co_lines()``
+    line numbers.  Lines that never reach the bytecode — comments,
+    blank lines, ``else:`` headers — are excluded by construction.
+    """
+    with open(path, "rb") as fh:
+        source = fh.read()
+    code = compile(source, path, "exec")
+    lines: set = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _start, _end, lineno in co.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in co.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+    return lines
+
+
+class LineCoverage:
+    """Records executed lines for files under *root* via sys.settrace."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root) + os.sep
+        self.hits: dict = {}
+        self._include: dict = {}
+
+    # -- trace hook -----------------------------------------------------
+    def _trace(self, frame, event, arg):
+        fn = frame.f_code.co_filename
+        include = self._include.get(fn)
+        if include is None:
+            include = self._include[fn] = fn.startswith(self.root)
+        if not include:
+            return None  # no line events for foreign frames
+        if event == "line":
+            try:
+                self.hits[fn].add(frame.f_lineno)
+            except KeyError:
+                self.hits[fn] = {frame.f_lineno}
+        return self._trace
+
+    def start(self) -> None:
+        threading.settrace(self._trace)
+        sys.settrace(self._trace)
+
+    def stop(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> dict:
+        """Per-package and total coverage over every .py under root."""
+        packages: dict = {}
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, self.root)
+                top = rel.split(os.sep)[0] if os.sep in rel else "(root)"
+                want = executable_lines(path)
+                got = self.hits.get(path, set()) & want
+                pkg = packages.setdefault(top, {"lines": 0, "covered": 0})
+                pkg["lines"] += len(want)
+                pkg["covered"] += len(got)
+        total = {
+            "lines": sum(p["lines"] for p in packages.values()),
+            "covered": sum(p["covered"] for p in packages.values()),
+        }
+        for entry in list(packages.values()) + [total]:
+            entry["percent"] = round(
+                100.0 * entry["covered"] / entry["lines"], 2
+            ) if entry["lines"] else 100.0
+        return {"packages": packages, "total": total}
+
+
+def _print_table(report: dict, out=sys.stdout) -> None:
+    packages, total = report["packages"], report["total"]
+    width = max(len(n) for n in list(packages) + ["TOTAL"])
+    print(f"{'package':<{width}}  {'lines':>6} {'cov':>6} {'%':>7}", file=out)
+    for name in sorted(packages):
+        p = packages[name]
+        print(f"{name:<{width}}  {p['lines']:>6} {p['covered']:>6} "
+              f"{p['percent']:>6.2f}%", file=out)
+    print(f"{'TOTAL':<{width}}  {total['lines']:>6} {total['covered']:>6} "
+          f"{total['percent']:>6.2f}%", file=out)
+
+
+def _default_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.coverage",
+        description="run pytest under a stdlib line-coverage trace",
+    )
+    ap.add_argument("--cov-root", default=_default_root(),
+                    help="tree to measure (default: the repro package)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="also write the report as JSON")
+    ap.add_argument("--fail-under", type=float, default=None,
+                    help="exit 1 if total coverage is below this percent")
+    ap.add_argument("pytest_args", nargs="*",
+                    help="arguments forwarded to pytest (default: -q tests)")
+    ns, extra = ap.parse_known_args(argv)
+    ns.pytest_args = extra + ns.pytest_args
+
+    import pytest
+
+    cov = LineCoverage(ns.cov_root)
+    cov.start()
+    try:
+        rc = pytest.main(ns.pytest_args or ["-q", "tests"])
+    finally:
+        cov.stop()
+    report = cov.report()
+    _print_table(report)
+    if ns.json:
+        with open(ns.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    if rc != 0:
+        return int(rc)
+    if ns.fail_under is not None and report["total"]["percent"] < ns.fail_under:
+        print(f"coverage {report['total']['percent']:.2f}% is below "
+              f"--fail-under={ns.fail_under}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

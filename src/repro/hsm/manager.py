@@ -133,6 +133,12 @@ class HsmManager:
                 return
             session = self.sessions[node]
             group = collocation_group or self.filespace
+            tr = self.env.trace
+            span = tr.begin(
+                "hsm:migrate", tid=node, cat="hsm",
+                args={"files": len(items),
+                      "nbytes": int(sum(n for _, n in items))},
+            ) if tr.enabled else None
 
             small = [(p, n) for p, n in items if aggregate and n < self.aggregate_threshold]
             large = [(p, n) for p, n in items if not aggregate or n >= self.aggregate_threshold]
@@ -156,6 +162,9 @@ class HsmManager:
                     self.fs.punch_stub(r.path)
                 self.files_migrated += 1
                 self.bytes_migrated += r.nbytes
+            if span is not None:
+                span.end()
+                tr.metrics.counter("hsm.files_migrated").inc(len(receipts))
             done.succeed(receipts)
 
         self.env.process(_proc(), name=f"hsm-migrate-{node}")
@@ -234,6 +243,12 @@ class HsmManager:
         session = self.sessions[node]
         while True:
             req: RecallRequest = yield queue.get()
+            tr = self.env.trace
+            span = tr.begin(
+                "hsm:recall", tid=node, cat="hsm",
+                args={"path": req.path, "volume": req.volume,
+                      "seq": req.seq, "nbytes": req.nbytes},
+            ) if tr.enabled else None
             try:
                 yield self.tsm.retrieve_objects(session, [req.object_id])
                 self.fs.restore_data(req.path)
@@ -241,6 +256,9 @@ class HsmManager:
                 inode = self.fs.lookup(req.path)
                 self.files_recalled += 1
                 self.bytes_recalled += req.nbytes
+                if span is not None:
+                    span.end()
+                    tr.metrics.counter("hsm.files_recalled").inc()
                 req.done.succeed(inode)
             except Exception as exc:  # surface to the waiter, keep daemon up
                 if not req.done.triggered:

@@ -79,6 +79,10 @@ class SimComm:
         msg = Message(src, dst, tag, payload)
         if self.monitor is not None:
             self.monitor.on_send(self, msg)
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant("comm:send", tid=f"rank{src}", cat="comm",
+                       args={"dst": dst, "tag": tag})
         # Mailboxes are unbounded, so the non-waiting put always succeeds;
         # call_later recycles its timer event, making a send one heap push
         # instead of a Process + init event + Timeout + put event.

@@ -312,6 +312,13 @@ class Fabric:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         done = self.env.event()
+        tr = self.env.trace
+        if tr.enabled:
+            span = tr.begin(
+                "net:transfer", tid=f"{src}->{dst}", cat="net",
+                args={"nbytes": int(nbytes)},
+            )
+            done.callbacks.append(lambda _ev: span.end())
         links = self.route(src, dst)
         latency = sum(lk.latency for lk in links)
         start = self.env.now

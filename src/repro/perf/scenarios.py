@@ -28,7 +28,7 @@ GB = 1_000_000_000
 # ---------------------------------------------------------------------------
 
 @scenario("fabric_churn")
-def fabric_churn() -> ScenarioOutcome:
+def fabric_churn(seed: int = 4242) -> ScenarioOutcome:
     """Overlapping transfers across the paper site's shared trunk.
 
     ~600 flows with Poisson arrivals and lognormal sizes, plus mid-run
@@ -38,7 +38,7 @@ def fabric_churn() -> ScenarioOutcome:
     env = Environment()
     topo = build_archive_site(env)
     fab = topo.fabric
-    rng = RandomStreams(4242).stream("fabric-churn")
+    rng = RandomStreams(seed).stream("fabric-churn")
     n_transfers = 600
     done_count = [0]
 
@@ -81,7 +81,7 @@ def fabric_churn() -> ScenarioOutcome:
 
 
 @scenario("fabric_sparse")
-def fabric_sparse() -> ScenarioOutcome:
+def fabric_sparse(seed: int = 77) -> ScenarioOutcome:
     """Many *independent* link pairs — disjoint allocation components.
 
     40 isolated src->dst pairs each carrying its own transfer stream.  A
@@ -97,7 +97,7 @@ def fabric_sparse() -> ScenarioOutcome:
     for i in range(n_pairs):
         fab.add_link(f"src{i}", f"dst{i}", capacity=1250 * MB, latency=1e-5)
 
-    rng = RandomStreams(77).stream("fabric-sparse")
+    rng = RandomStreams(seed).stream("fabric-sparse")
     done_count = [0]
 
     def pump(i: int, n: int, seed_offset: int):
@@ -129,7 +129,7 @@ def fabric_sparse() -> ScenarioOutcome:
 # ---------------------------------------------------------------------------
 
 @scenario("fig10_proxy")
-def fig10_proxy() -> ScenarioOutcome:
+def fig10_proxy(seed: int = 2009) -> ScenarioOutcome:
     """Reduced Figure-10 trace: overlapping archive jobs + background load.
 
     8 jobs (each <=24 files) with Poisson arrivals on the full simulated
@@ -144,9 +144,9 @@ def fig10_proxy() -> ScenarioOutcome:
     env = Environment()
     system = ParallelArchiveSystem(env, ArchiveParams())
     fab = system.topology.fabric
-    trace = generate_open_science_trace(seed=2009)
-    rng = RandomStreams(2009).stream("fig10-proxy")
-    bg_rng = RandomStreams(2009).stream("fig10-proxy-bg")
+    trace = generate_open_science_trace(seed=seed)
+    rng = RandomStreams(seed).stream("fig10-proxy")
+    bg_rng = RandomStreams(seed).stream("fig10-proxy-bg")
     jobs = trace.jobs[:8]
 
     total = {"bytes": 0, "files": 0, "jobs_done": 0}

@@ -109,6 +109,8 @@ class Manager:
         #: 'du' op: subtree -> [files, bytes]
         self.du_totals: dict[str, list[int]] = {}
         self.aborting = False
+        #: open "pftool:job" trace span while the job runs (if tracing)
+        self._job_span = None
         # -- failure recovery -------------------------------------------
         #: work-unit key -> retry attempts spent so far
         self.retry_counts: dict[tuple, int] = {}
@@ -141,6 +143,13 @@ class Manager:
             monitor.bind_manager(self, self.env.active_process)
         self.stats.started = self.env.now
         self.stats.op = self.op
+        tr = self.env.trace
+        if tr.enabled:
+            self._job_span = tr.begin(
+                "pftool:job", tid="manager", cat="pftool",
+                args={"op": self.op, "src": self.src_root,
+                      "dst": self.dst_root},
+            )
         src = self.ctx.src_fs
         try:
             root_inode = src.lookup(self.src_root)
@@ -189,6 +198,13 @@ class Manager:
             self.stats.aborted = True
             self.stats.abort_reason = error
         self.stats.finished = self.env.now
+        if self._job_span is not None:
+            self._job_span.end(
+                files_copied=self.stats.files_copied,
+                bytes_copied=self.stats.bytes_copied,
+                aborted=self.stats.aborted,
+            )
+            self._job_span = None
         if self.op == "du":
             for key in sorted(self.du_totals):
                 files, nbytes = self.du_totals[key]
@@ -339,6 +355,7 @@ class Manager:
         self.out_stat -= 1
         for spec in res.specs:
             self.stats.files_seen += 1
+            self.stats.observe_file_size(spec.size)
             if self.op == "list":
                 state = "migrated" if spec.migrated else "resident"
                 self._list_line(f"{spec.path}\t{spec.size}\t{state}")
@@ -575,10 +592,14 @@ class Manager:
         by_vol: dict[str, list] = {}
         for path, oid, vol, seq, nbytes, dst in resolved:
             by_vol.setdefault(vol, []).append((path, oid, seq, nbytes, dst))
+        tr = self.env.trace
         for vol, items in sorted(by_vol.items()):
             if self.cfg.tape_ordering:
                 items.sort(key=lambda e: e[2])  # ascending tape seq
             self.tape_q.append(TapeJob(vol, tuple(items)))
+            if tr.enabled:
+                tr.instant("pftool:tape_enqueue", tid="manager", cat="pftool",
+                           args={"volume": vol, "files": len(items)})
         self.stats.tape_volumes_touched += len(by_vol)
 
     def _on_tape_result(self, res: TapeResult) -> None:

@@ -212,6 +212,12 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
 
     s, d, total = job.chunk_of
     created = False
+    tr = env.trace
+    span = tr.begin(
+        "copy:chunk", tid=node, cat="pftool",
+        args={"dst": d, "offset": job.offset, "length": job.length,
+              "total": total},
+    ) if tr.enabled else None
     if job.create:
         if job.fuse_index is not None and ctx.fuse is not None:
             yield ctx.fuse.create_large(d, total, pool=cfg.storage_pool)
@@ -224,6 +230,8 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
     else:
         write = dst_fs.write_range(node, d, job.offset, job.length)
     yield AllOf(env, [read, write])
+    if span is not None:
+        span.end()
     return CopyResult(
         0,
         job.length,
@@ -327,11 +335,19 @@ def tape_proc(
         failed = []
         for entry in job.entries:
             path, oid, seq, nbytes, dst = entry
+            tr = env.trace
+            span = tr.begin(
+                "tape:restore", tid=node, cat="pftool",
+                args={"path": path, "volume": job.volume, "seq": seq,
+                      "nbytes": nbytes},
+            ) if tr.enabled else None
             try:
                 retrieve = ctx.tsm.retrieve_objects(session, [oid])
                 ctx.src_fs.restore_data(path)
                 writeback = ctx.src_fs.write_range(node, path, 0, nbytes)
                 yield AllOf(env, [retrieve, writeback])
+                if span is not None:
+                    span.end()
             except (PathError, SimulationError) as exc:
                 # one bad entry must not kill the volume run — later
                 # entries may live on healthy media

@@ -3,11 +3,20 @@
 The Manager owns a single :class:`JobStats`; the WatchDog samples it on
 an interval, keeping the windowed counters the paper describes (files /
 bytes moved in the last T minutes) and detecting stalls.
+
+Since the :mod:`repro.trace` refactor the numeric fields are backed by a
+:class:`~repro.trace.metrics.MetricsRegistry`: ``stats.files_copied``
+is a property over the ``pftool.files_copied`` counter, so the figure
+benchmarks and the end-of-job report read the same registry a traced
+run exports.  The attribute interface is unchanged — ``stats.field``
+reads and ``stats.field += n`` writes work exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.trace.metrics import MetricsRegistry
 
 __all__ = ["JobStats", "WatchdogSample"]
 
@@ -23,38 +32,63 @@ class WatchdogSample:
     bytes_window: int
 
 
-@dataclass
-class JobStats:
-    """Counters for one PFTool job (the §4.1.1 'final statistics report')."""
+#: registry-backed integer counters, in report order
+_COUNTERS = (
+    "dirs_walked",
+    "files_seen",
+    "files_copied",
+    "files_skipped",  # restart: destination already current
+    "files_failed",
+    "files_compared",
+    "compare_mismatches",
+    "bytes_copied",
+    "bytes_skipped",
+    "tape_files_restored",
+    "tape_bytes_restored",
+    "tape_volumes_touched",
+    "chunks_copied",
+    "fuse_files",
+)
 
-    op: str = "copy"
-    started: float = 0.0
-    finished: float = 0.0
-    dirs_walked: int = 0
-    files_seen: int = 0
-    files_copied: int = 0
-    files_skipped: int = 0  # restart: destination already current
-    files_failed: int = 0
-    files_compared: int = 0
-    compare_mismatches: int = 0
-    bytes_copied: int = 0
-    bytes_skipped: int = 0
-    tape_files_restored: int = 0
-    tape_bytes_restored: int = 0
-    tape_volumes_touched: int = 0
-    chunks_copied: int = 0
-    fuse_files: int = 0
-    aborted: bool = False
-    abort_reason: str = ""
-    #: requeued work units per failure class ('drive', 'tsm', 'fs', ...)
-    retries_by_class: dict[str, int] = field(default_factory=dict)
-    #: permanent (retry-exhausted or non-retryable) failures per class
-    failures_by_class: dict[str, int] = field(default_factory=dict)
-    #: InvariantMonitor findings by kind ('leaked-receive', ...) when the
-    #: monitor runs in counting (non-strict) mode
-    invariant_violations: dict[str, int] = field(default_factory=dict)
-    watchdog_history: list[WatchdogSample] = field(default_factory=list)
-    output_lines: list[str] = field(default_factory=list)
+#: registry-backed time gauges
+_GAUGES = ("started", "finished")
+
+
+class JobStats:
+    """Counters for one PFTool job (the §4.1.1 'final statistics report').
+
+    Every numeric field lives in :attr:`registry` under the
+    ``pftool.<field>`` name; non-numeric state (op, abort reason,
+    per-class dicts, watchdog history) stays on the instance.
+    """
+
+    def __init__(self, op: str = "copy",
+                 registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in _COUNTERS:
+            self.registry.counter(f"pftool.{name}")
+        for name in _GAUGES:
+            self.registry.gauge(f"pftool.{name}")
+        #: observed sizes of files seen by the stat phase
+        self.registry.histogram("pftool.file_size_bytes")
+        self.op = op
+        self.aborted = False
+        self.abort_reason = ""
+        #: requeued work units per failure class ('drive', 'tsm', 'fs', ...)
+        self.retries_by_class: dict[str, int] = {}
+        #: permanent (retry-exhausted or non-retryable) failures per class
+        self.failures_by_class: dict[str, int] = {}
+        #: InvariantMonitor findings by kind ('leaked-receive', ...) when the
+        #: monitor runs in counting (non-strict) mode
+        self.invariant_violations: dict[str, int] = {}
+        self.watchdog_history: list[WatchdogSample] = []
+        self.output_lines: list[str] = []
+
+    # counter/gauge properties are attached after the class body, one per
+    # name in _COUNTERS/_GAUGES
+
+    def observe_file_size(self, nbytes: int) -> None:
+        self.registry.histogram("pftool.file_size_bytes").observe(nbytes)
 
     @property
     def duration(self) -> float:
@@ -134,3 +168,40 @@ class JobStats:
         if self.aborted:
             lines.append(f"  ABORTED: {self.abort_reason}")
         return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<JobStats {self.op} files={self.files_copied} "
+            f"bytes={self.bytes_copied} failed={self.files_failed}>"
+        )
+
+
+def _counter_property(name: str) -> property:
+    key = f"pftool.{name}"
+
+    def fget(self: JobStats):
+        return self.registry.counter(key).value
+
+    def fset(self: JobStats, value) -> None:
+        self.registry.counter(key).set(value)
+
+    return property(fget, fset, doc=f"registry counter {key}")
+
+
+def _gauge_property(name: str) -> property:
+    key = f"pftool.{name}"
+
+    def fget(self: JobStats) -> float:
+        return self.registry.gauge(key).value
+
+    def fset(self: JobStats, value: float) -> None:
+        self.registry.gauge(key).set(value)
+
+    return property(fget, fset, doc=f"registry gauge {key}")
+
+
+for _name in _COUNTERS:
+    setattr(JobStats, _name, _counter_property(_name))
+for _name in _GAUGES:
+    setattr(JobStats, _name, _gauge_property(_name))
+del _name

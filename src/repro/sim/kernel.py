@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.trace import channel_for as _trace_channel_for
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -376,6 +378,7 @@ class Environment:
         "_call_pool",
         "events_processed",
         "peak_queue_len",
+        "trace",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -390,6 +393,9 @@ class Environment:
         self.events_processed = 0
         #: high-water mark of the event heap (perf accounting)
         self.peak_queue_len = 0
+        #: trace channel — NULL_CHANNEL (enabled=False) unless a
+        #: :class:`repro.trace.Tracer` is installed when this env is built
+        self.trace = _trace_channel_for(self)
 
     # -- clock ---------------------------------------------------------
     @property

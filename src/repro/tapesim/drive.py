@@ -112,6 +112,8 @@ class TapeDrive:
         self.idle_marker = env.now
         self.bytes_written = 0.0
         self.bytes_read = 0.0
+        #: open "drive:mounted" trace span (load -> unload), if tracing
+        self._mount_span = None
 
     # -- state ---------------------------------------------------------
     @property
@@ -142,6 +144,13 @@ class TapeDrive:
                 self.position = 0.0
                 self.last_client = None
                 self.mounts += 1
+                tr = self.env.trace
+                if tr.enabled:
+                    self._mount_span = tr.begin(
+                        "drive:mounted", tid=self.name, cat="tape",
+                        args={"volume": cartridge.volume},
+                    )
+                    tr.metrics.counter("tape.mounts").inc()
             done.succeed(cartridge)
 
         self.env.process(_proc(), name=f"{self.name}-load")
@@ -165,6 +174,9 @@ class TapeDrive:
                 self.position = 0.0
                 self.last_client = None
                 self.dismounts += 1
+                if self._mount_span is not None:
+                    self._mount_span.end()
+                    self._mount_span = None
             done.succeed(cart)
 
         self.env.process(_proc(), name=f"{self.name}-unload")
@@ -217,6 +229,11 @@ class TapeDrive:
                 with self._ops.request() as op:
                     yield op
                     cart = self._require_cart()
+                    tr = self.env.trace
+                    span = tr.begin(
+                        "drive:write", tid=self.name, cat="tape",
+                        args={"oid": str(object_id), "nbytes": nbytes},
+                    ) if tr.enabled else None
                     yield from self._handoff_check(client)
                     if self.position != cart.eod:
                         st = self.spec.locate_time(self.position, cart.eod)
@@ -229,6 +246,9 @@ class TapeDrive:
                     ext = cart.append(object_id, nbytes)
                     self.position = cart.eod
                     self.bytes_written += nbytes
+                    if span is not None:
+                        span.end()
+                        tr.metrics.counter("tape.bytes_written").inc(nbytes)
             except SimulationError as exc:
                 # deliver the fault to the waiter instead of crashing the
                 # drive process — callers own the retry decision
@@ -258,6 +278,14 @@ class TapeDrive:
                             f"{self.name}: extent on {extent.volume} but "
                             f"{cart.volume} is mounted"
                         )
+                    tr = self.env.trace
+                    span = tr.begin(
+                        "drive:read", tid=self.name, cat="tape",
+                        args={"oid": str(extent.object_id),
+                              "volume": extent.volume,
+                              "seq": extent.seq,
+                              "nbytes": extent.nbytes},
+                    ) if tr.enabled else None
                     yield from self._handoff_check(client)
                     if self.position != extent.start_byte:
                         st = self.spec.locate_time(self.position, extent.start_byte)
@@ -269,6 +297,9 @@ class TapeDrive:
                     yield from self._stream(client, extent.nbytes, inbound=False)
                     self.position = float(extent.end_byte)
                     self.bytes_read += extent.nbytes
+                    if span is not None:
+                        span.end()
+                        tr.metrics.counter("tape.bytes_read").inc(extent.nbytes)
             except SimulationError as exc:
                 done.fail(exc)
                 return

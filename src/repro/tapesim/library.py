@@ -193,6 +193,7 @@ class TapeLibrary:
             else:
                 drive = get_any.value
                 get_pref.cancel()  # withdraw before it can grab a drive
+            tr = self.env.trace
             if drive.cartridge is not None and drive.cartridge.volume != vol:
                 # Dismount the stale volume first and stow it.
                 yield drive.unload()
@@ -200,11 +201,17 @@ class TapeLibrary:
                     yield arm
                     yield self.env.timeout(self.robot_exchange)
                     self.robot_moves += 1
+                if tr.enabled:
+                    tr.instant("robot:stow", tid=drive.name, cat="tape",
+                               args={"volume": vol})
             if drive.cartridge is None:
                 with self.robot.request() as arm:
                     yield arm
                     yield self.env.timeout(self.robot_exchange)
                     self.robot_moves += 1
+                if tr.enabled:
+                    tr.instant("robot:fetch", tid=drive.name, cat="tape",
+                               args={"volume": vol})
                 yield drive.load(cart)
             self._holders[id(drive)] = (vol, lock_req)
             done.succeed(drive)

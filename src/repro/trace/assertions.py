@@ -1,0 +1,197 @@
+"""Trace-based test assertions.
+
+Final-total assertions (``stats.files_copied == 8``) can pass while the
+run did something causally wrong — recalled tapes out of order, mounted
+one drive from two clients, left a hole in a chunked file.
+:class:`TraceAssertions` lets integration tests assert on the *event
+stream* instead: ordering, exclusivity, monotonicity, and coverage.
+
+All helpers raise ``AssertionError`` with a message naming the
+offending events, so pytest failures are directly actionable.
+
+``per`` selectors: several helpers partition events into groups first.
+``per="tid"`` groups by thread/component name; ``per="args:<key>"``
+groups by an args field (e.g. ``per="args:volume"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["TraceAssertions"]
+
+
+def _group_key(per: Optional[str]) -> Callable[[dict], object]:
+    if per is None:
+        return lambda ev: None
+    if per == "tid":
+        return lambda ev: ev.get("tid", "")
+    if per.startswith("args:"):
+        key = per[5:]
+        return lambda ev: ev.get("args", {}).get(key)
+    raise ValueError(f"bad per selector {per!r} (want 'tid' or 'args:<key>')")
+
+
+class TraceAssertions:
+    """Queries and assertions over a finished :class:`~repro.trace.Tracer`.
+
+    Construction finalizes the tracer (closing dangling spans) so event
+    lists are complete and stable.
+    """
+
+    def __init__(self, tracer) -> None:
+        tracer.finalize()
+        self.tracer = tracer
+        self.events = tracer.events
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+
+    def select(self, name: str, ph: Optional[str] = None,
+               tid: Optional[str] = None) -> list[dict]:
+        """Events with *name*, optionally filtered by phase and tid."""
+        return [
+            ev for ev in self.events
+            if ev["name"] == name
+            and (ph is None or ev["ph"] == ph)
+            and (tid is None or ev.get("tid", "") == tid)
+        ]
+
+    def spans(self, name: str, tid: Optional[str] = None) -> list[dict]:
+        return self.select(name, ph="X", tid=tid)
+
+    def span_count(self, name: str, expect: Optional[int] = None,
+                   tid: Optional[str] = None) -> int:
+        """Number of spans named *name*; asserts equality if *expect* given."""
+        n = len(self.spans(name, tid=tid))
+        if expect is not None:
+            assert n == expect, (
+                f"expected {expect} {name!r} spans, found {n}"
+            )
+        return n
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+
+    def happens_before(self, first: str, then: str,
+                       per: Optional[str] = None) -> None:
+        """Every *first* span/event ends before any *then* one begins.
+
+        With *per*, the relation is checked within each group only
+        (e.g. per file: its store must precede its recall, but other
+        files' stores may interleave).
+        """
+        key = _group_key(per)
+        firsts: dict[object, float] = {}
+        for ev in self.select(first):
+            end = ev["ts"] + ev.get("dur", 0.0)
+            k = key(ev)
+            if k not in firsts or end > firsts[k]:
+                firsts[k] = end
+        assert firsts, f"no events named {first!r} in trace"
+        thens = self.select(then)
+        assert thens, f"no events named {then!r} in trace"
+        for ev in thens:
+            k = key(ev)
+            if k not in firsts:
+                continue
+            assert ev["ts"] >= firsts[k], (
+                f"{then!r} at t={ev['ts']} (group {k!r}) starts before the "
+                f"last {first!r} ends at t={firsts[k]}"
+            )
+
+    def monotonic(self, name: str, field: str,
+                  per: Optional[str] = None, strict: bool = False) -> None:
+        """``args[field]`` is non-decreasing over event order (per group).
+
+        The canonical use is tape-order monotonicity: recalls touching
+        one volume must proceed in increasing sequence id —
+        ``monotonic("tsm:recall", "seq", per="args:volume")``.
+        """
+        key = _group_key(per)
+        events = self.select(name)
+        assert events, f"no events named {name!r} in trace"
+        last: dict[object, object] = {}
+        for ev in events:
+            val = ev.get("args", {}).get(field)
+            assert val is not None, (
+                f"{name!r} event at t={ev['ts']} has no args[{field!r}]"
+            )
+            k = key(ev)
+            if k in last:
+                prev = last[k]
+                ok = prev < val if strict else prev <= val
+                assert ok, (
+                    f"{name!r} {field}={val!r} after {field}={prev!r} "
+                    f"(group {k!r}) — order not monotonic"
+                )
+            last[k] = val
+
+    # ------------------------------------------------------------------
+    # exclusivity
+    # ------------------------------------------------------------------
+
+    def no_overlap(self, name: str, per: Optional[str] = "tid") -> None:
+        """Spans named *name* never overlap in time (within each group).
+
+        ``no_overlap("drive:mounted", per="tid")`` is single-writer
+        drive-mount exclusivity: one drive is never mounted twice at
+        once.  Back-to-back spans sharing an endpoint are allowed.
+        """
+        key = _group_key(per)
+        groups: dict[object, list[dict]] = {}
+        for ev in self.spans(name):
+            groups.setdefault(key(ev), []).append(ev)
+        assert groups, f"no spans named {name!r} in trace"
+        for k, spans in groups.items():
+            spans.sort(key=lambda ev: (ev["ts"], ev["ts"] + ev["dur"]))
+            prev = None
+            for ev in spans:
+                if prev is not None:
+                    prev_end = prev["ts"] + prev["dur"]
+                    assert ev["ts"] >= prev_end, (
+                        f"{name!r} spans overlap in group {k!r}: "
+                        f"[{prev['ts']}, {prev_end}] and "
+                        f"[{ev['ts']}, {ev['ts'] + ev['dur']}]"
+                    )
+                prev = ev
+
+    # ------------------------------------------------------------------
+    # coverage
+    # ------------------------------------------------------------------
+
+    def covers(self, name: str, total: int, per: Optional[str] = None,
+               offset_field: str = "offset",
+               length_field: str = "length") -> None:
+        """Spans' ``[offset, offset+length)`` ranges tile ``[0, total)``.
+
+        Asserts no gaps and no double-writes: the canonical check that
+        an N-to-1 chunked copy reassembled the whole file exactly once.
+        """
+        key = _group_key(per)
+        groups: dict[object, list[tuple[int, int]]] = {}
+        for ev in self.spans(name):
+            args = ev.get("args", {})
+            off, ln = args.get(offset_field), args.get(length_field)
+            assert off is not None and ln is not None, (
+                f"{name!r} span at t={ev['ts']} lacks "
+                f"{offset_field!r}/{length_field!r} args"
+            )
+            groups.setdefault(key(ev), []).append((off, ln))
+        assert groups, f"no spans named {name!r} in trace"
+        for k, ranges in groups.items():
+            ranges.sort()
+            pos = 0
+            for off, ln in ranges:
+                assert off == pos, (
+                    f"{name!r} coverage (group {k!r}): "
+                    + (f"gap [{pos}, {off})" if off > pos
+                       else f"overlap at {off} (expected {pos})")
+                )
+                pos = off + ln
+            assert pos == total, (
+                f"{name!r} coverage (group {k!r}): ranges end at {pos}, "
+                f"expected {total}"
+            )

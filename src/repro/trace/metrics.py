@@ -1,0 +1,171 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.trace`: where the tracer
+records *events* (spans, instants), the registry holds *aggregates*.  It
+is deliberately tiny and allocation-light so :class:`repro.pftool.stats.
+JobStats` can be backed by one without measurable cost, and so a tracer
+can carry one per run and snapshot it into the exported trace.
+
+Determinism contract: snapshots iterate instruments in registration
+order and histograms use fixed bucket boundaries, so two identical runs
+serialize to identical bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically *usable* (but resettable) numeric counter.
+
+    ``inc`` is the normal path; ``set`` exists so registry-backed stats
+    objects can keep supporting ``stats.field += n`` read-modify-write
+    through a property.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1):
+        self.value += amount
+        return self
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+#: default histogram buckets: powers of ten from 1 to 1e15 — wide enough
+#: for byte sizes (the dominant use) and for second-scale durations
+_DEFAULT_BUCKETS = tuple(float(10**e) for e in range(16))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds (values above the last bound land in a
+    final overflow bucket), mirroring the Prometheus convention minus
+    the cumulative encoding.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets)) if buckets else _DEFAULT_BUCKETS
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # linear scan: bucket lists are short and this is not a hot path
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                repr(b): c
+                for b, c in zip(self.buckets, self.counts)
+                if c
+            },
+            "overflow": self.counts[-1],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} sum={self.sum}>"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name belongs to exactly one instrument kind; asking for the same
+    name as a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: Optional[Iterable[float]] = None) -> Histogram:
+        if buckets is not None:
+            return self._get(name, Histogram, buckets)
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """{name: value-or-dict} in registration order."""
+        return {
+            name: inst.snapshot() for name, inst in self._instruments.items()
+        }

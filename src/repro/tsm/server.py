@@ -240,6 +240,11 @@ class TsmServer:
                         nbytes = int(nbytes)
                         if not drive.cartridge.fits(nbytes):
                             break
+                        tr = self.env.trace
+                        span = tr.begin(
+                            "tsm:store", tid=drive.name, cat="tsm",
+                            args={"path": path, "nbytes": nbytes},
+                        ) if tr.enabled else None
                         yield from self._txn()
                         oid = next(self._oid)
                         relay = self._lan_relay(session, nbytes, to_server=True)
@@ -251,6 +256,9 @@ class TsmServer:
                         else:
                             ext: TapeExtent = yield write
                         ext = write.value
+                        if span is not None:
+                            span.end(oid=oid, volume=ext.volume, seq=ext.seq)
+                            tr.metrics.counter("tsm.objects_stored").inc()
                         self.objects.insert(
                             {
                                 "object_id": oid,
@@ -308,6 +316,11 @@ class TsmServer:
             volume = self.library.select_output_volume(total, collocation_group)
             drive = yield self.library.acquire_drive(volume.volume)
             try:
+                tr = self.env.trace
+                span = tr.begin(
+                    "tsm:store", tid=drive.name, cat="tsm",
+                    args={"members": len(items), "nbytes": total},
+                ) if tr.enabled else None
                 yield from self._txn()
                 agg_id = next(self._agg_id)
                 agg_oid = next(self._oid)
@@ -320,6 +333,9 @@ class TsmServer:
                 else:
                     yield write
                 ext: TapeExtent = write.value
+                if span is not None:
+                    span.end(oid=agg_oid, volume=ext.volume, seq=ext.seq)
+                    tr.metrics.counter("tsm.objects_stored").inc(len(items))
                 self._aggregates[agg_id] = agg_oid
                 receipts = []
                 offset = 0
@@ -402,6 +418,12 @@ class TsmServer:
                         if obj.volume != drive.cartridge.volume:
                             break  # next object needs another volume
                         self._check_fault("retrieve", obj.object_id)
+                        tr = self.env.trace
+                        span = tr.begin(
+                            "tsm:recall", tid=drive.name, cat="tsm",
+                            args={"oid": obj.object_id, "volume": obj.volume,
+                                  "seq": obj.seq, "nbytes": obj.nbytes},
+                        ) if tr.enabled else None
                         yield from self._txn()
                         extent = self._extent_for(obj, drive)
                         read = drive.read_extent(
@@ -415,6 +437,9 @@ class TsmServer:
                         self.bytes_retrieved += obj.nbytes
                         delivered.append(obj)
                         i += 1
+                        if span is not None:
+                            span.end()
+                            tr.metrics.counter("tsm.objects_recalled").inc()
                 finally:
                     self.library.release_drive(drive)
             done.succeed(delivered)

@@ -1,0 +1,95 @@
+"""Golden tests for the pfls / pfcp / pfcm command-line tools.
+
+Each test runs a CLI main() on a small seeded workload and compares the
+*normalized* output against a committed golden string: timing numbers
+(simulated durations and derived rates) are replaced with placeholders
+so the goldens pin structure, counts, paths and exit codes without
+repeating the perf goldens' job (BENCH_kernel.json owns exact simulated
+times).  A CLI regression — changed summary wording, wrong counts,
+nonzero exit, stderr noise — fails loudly here.
+"""
+
+import re
+
+import pytest
+
+from repro.cli import pfcm, pfcp, pfls
+
+TIME_RE = re.compile(r"\b\d+(?:\.\d+)?s\b")
+RATE_RE = re.compile(r"\(\d+(?:\.\d+)? MB/s\)")
+
+
+def normalize(text: str) -> str:
+    """Blank out wall/rate numbers that depend on simulated timing."""
+    text = TIME_RE.sub("<T>", text)
+    text = RATE_RE.sub("(<RATE> MB/s)", text)
+    return text.rstrip("\n")
+
+
+def run_cli(main, argv, capsys):
+    rc = main(argv)
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+ARGS = ["--files", "4", "--size", "2MB", "--workers", "4", "--fta", "4",
+        "--drives", "4", "--seed", "7"]
+
+
+def test_pfls_golden(capsys):
+    rc, out, err = run_cli(pfls.main, ARGS, capsys)
+    assert rc == 0
+    assert err == ""
+    assert normalize(out) == (
+        "/archive/data/run0000/f0000000\t1544514\tresident\n"
+        "/archive/data/run0000/f0000001\t4393236\tresident\n"
+        "/archive/data/run0000/f0000002\t1334369\tresident\n"
+        "/archive/data/run0000/f0000003\t727879\tresident\n"
+        "... 4 files listed in <T> (simulated)"
+    )
+
+
+def test_pfcp_golden(capsys):
+    rc, out, err = run_cli(pfcp.main, ARGS, capsys)
+    assert rc == 0
+    assert err == ""
+    assert normalize(out) == (
+        "pftool copy: 4 files, 8.0 MB in <T> (<RATE> MB/s)\n"
+        "  dirs=2 seen=4 skipped=0 failed=0"
+    )
+
+
+def test_pfcm_golden_clean(capsys):
+    rc, out, err = run_cli(pfcm.main, ARGS, capsys)
+    assert rc == 0
+    assert err == ""
+    assert normalize(out) == (
+        "compared 4 files in <T> (simulated): 0 mismatches"
+    )
+
+
+def test_pfcp_migrate_golden(capsys):
+    rc, out, err = run_cli(pfcp.main, ARGS + ["--migrate"], capsys)
+    assert rc == 0
+    assert err == ""
+    lines = normalize(out).splitlines()
+    assert lines[0] == "pftool copy: 4 files, 8.0 MB in <T> (<RATE> MB/s)"
+    assert re.fullmatch(
+        r"migrated 4 files / 0\.0 GB to tape in <T> "
+        r"\(skew <T> across \d+ nodes\)",
+        lines[-1],
+    ), lines[-1]
+
+
+def test_cli_goldens_are_deterministic(capsys):
+    """Same seed, same bytes — twice through each tool."""
+    for main in (pfls.main, pfcp.main, pfcm.main):
+        rc1, out1, _ = run_cli(main, ARGS, capsys)
+        rc2, out2, _ = run_cli(main, ARGS, capsys)
+        assert (rc1, out1) == (rc2, out2)
+
+
+def test_pfcp_different_seed_changes_listing(capsys):
+    _, out1, _ = run_cli(pfls.main, ARGS, capsys)
+    _, out2, _ = run_cli(pfls.main, ARGS[:-1] + ["8"], capsys)
+    assert out1 != out2

@@ -1,0 +1,45 @@
+"""Smoke tests for the stdlib line-coverage tool (repro.analysis.coverage)."""
+
+import textwrap
+
+from repro.analysis.coverage import LineCoverage, executable_lines
+
+
+def test_executable_lines_skip_comments_and_blanks(tmp_path):
+    mod = tmp_path / "m.py"
+    mod.write_text(textwrap.dedent("""\
+        # a comment
+        x = 1
+
+        def f(a):
+            # inner comment
+            return a + x
+    """))
+    lines = executable_lines(str(mod))
+    assert 2 in lines   # x = 1
+    assert 4 in lines   # def f
+    assert 6 in lines   # return
+    assert 1 not in lines and 3 not in lines and 5 not in lines
+
+
+def test_line_coverage_records_only_tree_under_root(tmp_path):
+    mod = tmp_path / "probe.py"
+    mod.write_text("def hit(flag):\n    if flag:\n        return 1\n    return 2\n")
+    ns = {}
+    exec(compile(mod.read_text(), str(mod), "exec"), ns)
+
+    cov = LineCoverage(str(tmp_path))
+    cov.start()
+    try:
+        ns["hit"](True)
+    finally:
+        cov.stop()
+    hits = cov.hits[str(mod)]
+    assert {2, 3} <= hits
+    assert 4 not in hits  # the untaken branch
+
+    report = cov.report()
+    total = report["total"]
+    assert total["lines"] >= 4
+    assert 0 < total["covered"] <= total["lines"]
+    assert report["packages"]["(root)"]["covered"] == total["covered"]

@@ -8,6 +8,8 @@ abort, no wedged queue entries) with the recovery accounted in
 ``JobStats.retries_by_class`` / ``failures_by_class``.
 """
 
+import os
+
 import pytest
 
 from repro.archive import ArchiveParams, ParallelArchiveSystem
@@ -29,6 +31,17 @@ from repro.workloads.generators import _instant_create
 
 GB = 1_000_000_000
 MB = 1_000_000
+
+# The nightly seed-sweep CI job sets REPRO_SEED_SWEEP=0..9 to re-run
+# these scenarios with shifted fault-plan seeds: the *recovery*
+# assertions (no abort, no wedge, correct file contents) must hold for
+# any seed, so a sweep surfaces flaky nondeterminism before users do.
+SEED_SWEEP = int(os.environ.get("REPRO_SEED_SWEEP", "0"))
+
+
+def sweep(seed):
+    """Offset a FaultPlan seed under the CI seed-sweep matrix."""
+    return seed + 1000 * SEED_SWEEP
 
 FAST_SPEC = TapeSpec(
     native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
@@ -107,7 +120,7 @@ def test_fault_plan_is_deterministic():
         stats = env.run(system.retrieve("/cold", "/back", cfg_small()).done)
         return (stats.retries_by_class, stats.duration)
 
-    assert run(11) == run(11)
+    assert run(sweep(11)) == run(sweep(11))
 
 
 def test_cancelled_store_get_does_not_consume_items():
@@ -189,7 +202,7 @@ def test_restore_survives_drive_failures_and_tsm_errors():
     system = small_site(env, n_tape_drives=2, tsm_txn_time=2.0)
     paths = migrate_tree(env, system, "/cold", 12, 40 * MB)
     injector = system.inject_faults(
-        FaultPlan(seed=7)
+        FaultPlan(seed=sweep(7))
         .drive_failure(at=10.0, drive="drv00", repair_after=30.0)
         .drive_failure(at=20.0, drive="drv01", repair_after=30.0)
         .tsm_retrieve_errors(rate=0.3, max_failures=4)
@@ -206,12 +219,16 @@ def test_restore_survives_drive_failures_and_tsm_errors():
     for p in paths:
         name = p.rsplit("/", 1)[1]
         assert system.scratch_fs.lookup(f"/back/{name}").size == 40 * MB
-    # both fault families actually fired and were retried
     assert injector.injected.get("drive") == 2
-    assert injector.injected.get("tsm", 0) >= 1
-    assert stats.retries_by_class.get("drive", 0) >= 1
-    assert stats.retries_by_class.get("tsm", 0) >= 1
     assert stats.failures_by_class == {}
+    if SEED_SWEEP == 0:
+        # Fault *accounting* is pinned to the baseline seed: whether a
+        # drive outage catches a retrieve in flight (and so forces a
+        # retry) depends on the fault plan's timing draw.  Under the
+        # sweep only the recovery invariants above must hold.
+        assert injector.injected.get("tsm", 0) >= 1
+        assert stats.retries_by_class.get("drive", 0) >= 1
+        assert stats.retries_by_class.get("tsm", 0) >= 1
     assert_no_wedge(job)
 
 
@@ -222,7 +239,7 @@ def test_tape_retrieve_errors_exhaust_retries_without_wedging():
     system = small_site(env)
     migrate_tree(env, system, "/cold", 4, 10 * MB)
     system.inject_faults(
-        FaultPlan(seed=3).tsm_retrieve_errors(rate=1.0, max_failures=1000)
+        FaultPlan(seed=sweep(3)).tsm_retrieve_errors(rate=1.0, max_failures=1000)
     )
     cfg = cfg_small(retry_limit=1, retry_backoff=0.5, stall_timeout=600.0)
     job = system.retrieve("/cold", "/back", cfg)
@@ -243,7 +260,7 @@ def test_transient_fs_errors_on_chunked_copy_retried():
     system = small_site(env)
     seed_scratch(env, system, {"/big/one.dat": 8 * GB})
     system.inject_faults(
-        FaultPlan(seed=5).fs_errors(
+        FaultPlan(seed=sweep(5)).fs_errors(
             rate=1.0, max_failures=2, op="write", path_contains="one.dat"
         )
     )
@@ -266,7 +283,7 @@ def test_permanent_create_failure_drains_waiting_chunks():
     system = small_site(env)
     seed_scratch(env, system, {"/big/doomed.dat": 8 * GB, "/big/ok.dat": 5 * MB})
     system.inject_faults(
-        FaultPlan(seed=5).fs_errors(
+        FaultPlan(seed=sweep(5)).fs_errors(
             rate=1.0, max_failures=50, op="create", path_contains="doomed"
         )
     )
@@ -290,7 +307,7 @@ def test_node_outage_copies_retried_on_recovery():
     system = small_site(env)
     seed_scratch(env, system, {f"/d/f{i:02d}": 2 * MB for i in range(16)})
     system.inject_faults(
-        FaultPlan(seed=9).node_outage(node="fta1", start=0.0, duration=2.5)
+        FaultPlan(seed=sweep(9)).node_outage(node="fta1", start=0.0, duration=2.5)
     )
     cfg = cfg_small(retry_backoff=1.0, retry_limit=4)
     job = system.archive("/d", "/a", cfg)
@@ -352,7 +369,7 @@ def test_watchdog_still_aborts_wedged_restore():
     env = Environment()
     system = small_site(env, n_tape_drives=1, n_fta=2)
     migrate_tree(env, system, "/cold", 4, 10 * MB)
-    system.inject_faults(FaultPlan(seed=1).drive_failure(at=0.0, drive="drv00"))
+    system.inject_faults(FaultPlan(seed=sweep(1)).drive_failure(at=0.0, drive="drv00"))
     cfg = cfg_small(num_workers=2, num_tapeprocs=1,
                     watchdog_interval=50.0, stall_timeout=300.0)
     job = system.retrieve("/cold", "/back", cfg)

@@ -13,6 +13,8 @@ from repro.pfs import HsmState
 from repro.pftool import PftoolConfig
 from repro.sim import Environment
 from repro.tapesim import TapeSpec
+from repro.trace import tracing
+from repro.trace.assertions import TraceAssertions
 from repro.workloads import huge_file_campaign
 
 GB = 1_000_000_000
@@ -63,19 +65,29 @@ def test_fuse_file_migrates_as_parallel_chunk_objects():
 
 
 def test_fuse_file_restores_and_reassembles():
-    env = Environment()
-    system = build(env)
-    huge_file_campaign(system.scratch_fs, "/huge", 1, 10 * GB)
-    src_token = system.scratch_fs.lookup("/huge/huge000.h5").content_token
-    env.run(system.archive("/huge", "/a", cfg()).done)
-    env.run(system.migrate_to_tape())
+    with tracing() as tracer:
+        env = Environment()
+        system = build(env)
+        huge_file_campaign(system.scratch_fs, "/huge", 1, 10 * GB)
+        src_token = system.scratch_fs.lookup("/huge/huge000.h5").content_token
+        env.run(system.archive("/huge", "/a", cfg()).done)
+        env.run(system.migrate_to_tape())
 
-    stats = env.run(system.retrieve("/a", "/back", cfg()).done)
+        stats = env.run(system.retrieve("/a", "/back", cfg()).done)
     assert stats.tape_files_restored == 5  # each chunk recalled
     assert stats.files_copied == 1  # ...into ONE reassembled file
     out = system.scratch_fs.lookup("/back/huge000.h5")
     assert out.size == 10 * GB
     assert out.content_token == src_token
+    # trace: every chunk's tape store completed before any recall touched
+    # its volume; per volume the recalls ran in tape order; the reassembly
+    # chunk-copies tile the 10 GB file exactly; mounts stayed exclusive
+    ta = TraceAssertions(tracer)
+    assert ta.span_count("tsm:recall") == 5
+    ta.happens_before("tsm:store", "tsm:recall", per="args:volume")
+    ta.monotonic("tsm:recall", "seq", per="args:volume")
+    ta.covers("copy:chunk", 10 * GB, per="args:dst")
+    ta.no_overlap("drive:mounted", per="tid")
 
 
 def test_fuse_restore_with_resident_chunks_mixed():

@@ -1,4 +1,9 @@
-"""Tests for HSM migration, recall routing, and reconciliation."""
+"""Tests for HSM migration, recall routing, and reconciliation.
+
+Key scenarios also run traced and assert causal properties (drive-mount
+exclusivity, migrate-before-recall ordering) via
+:class:`repro.trace.assertions.TraceAssertions`.
+"""
 
 import pytest
 
@@ -7,6 +12,8 @@ from repro.hsm import HsmManager, ReconcileAgent
 from repro.pfs import GpfsFileSystem, HsmState, StoragePool
 from repro.sim import Environment
 from repro.tapesim import TapeLibrary, TapeSpec
+from repro.trace import tracing
+from repro.trace.assertions import TraceAssertions
 from repro.tsm import TsmServer
 
 SPEC = TapeSpec(
@@ -46,17 +53,26 @@ def seed_files(env, fs, n, size, prefix="/data/f"):
 
 
 def test_migrate_punches_stubs_and_frees_disk():
-    env = Environment()
-    fs, tsm, hsm = build_stack(env)
-    seed_files(env, fs, 3, 10_000_000)
-    pool = fs.pool("fast")
-    assert pool.used_bytes == 30_000_000
-    receipts = env.run(hsm.migrate("fta0", [f"/data/f{i}" for i in range(3)]))
+    with tracing() as tracer:
+        env = Environment()
+        fs, tsm, hsm = build_stack(env)
+        seed_files(env, fs, 3, 10_000_000)
+        pool = fs.pool("fast")
+        assert pool.used_bytes == 30_000_000
+        receipts = env.run(hsm.migrate("fta0", [f"/data/f{i}" for i in range(3)]))
     assert len(receipts) == 3
     for i in range(3):
         assert fs.lookup(f"/data/f{i}").hsm_state is HsmState.MIGRATED
     assert pool.used_bytes == 0
     assert hsm.files_migrated == 3
+    # trace: one migrate span covering three tape stores, drive writes
+    # strictly serialized per drive
+    ta = TraceAssertions(tracer)
+    ta.span_count("hsm:migrate", expect=1)
+    ta.span_count("tsm:store", expect=3)
+    ta.no_overlap("drive:write", per="tid")
+    ta.no_overlap("drive:mounted", per="tid")
+    assert tracer.metrics.counter("hsm.files_migrated").value == 3
 
 
 def test_migrate_without_punch_premigrates():
@@ -130,13 +146,22 @@ def test_naive_routing_thrashes_sticky_does_not():
     """§6.2: same-tape recalls spread across nodes cause handoff rewinds."""
 
     def run(routing):
-        env = Environment()
-        fs, tsm, hsm = build_stack(env, routing=routing, n_drives=1)
-        seed_files(env, fs, 12, 20_000_000)
-        paths = [f"/data/f{i}" for i in range(12)]
-        env.run(hsm.migrate("fta0", paths))  # all on one tape
-        t0 = env.now
-        env.run(hsm.recall_many(paths))
+        with tracing() as tracer:
+            env = Environment()
+            fs, tsm, hsm = build_stack(env, routing=routing, n_drives=1)
+            seed_files(env, fs, 12, 20_000_000)
+            paths = [f"/data/f{i}" for i in range(12)]
+            env.run(hsm.migrate("fta0", paths))  # all on one tape
+            t0 = env.now
+            env.run(hsm.recall_many(paths))
+        # even with two recall daemons fighting over the single drive,
+        # its operations and mount intervals never overlap, and every
+        # migrate finished before any recall touched the volume
+        ta = TraceAssertions(tracer)
+        assert ta.span_count("hsm:recall") == 12
+        ta.no_overlap("drive:mounted", per="tid")
+        ta.no_overlap("drive:read", per="tid")
+        ta.happens_before("hsm:migrate", "hsm:recall")
         return env.now - t0, tsm.library.total_handoff_rewinds
 
     t_naive, rw_naive = run("naive")

@@ -1,4 +1,11 @@
-"""End-to-end PFTool tests against the full archive system."""
+"""End-to-end PFTool tests against the full archive system.
+
+Several tests run under a :func:`repro.trace.tracing` context and
+additionally assert *causal* properties of the run via
+:class:`repro.trace.assertions.TraceAssertions` — chunk spans tiling
+the file, recalls monotone in tape sequence, drive mounts exclusive —
+which final-total assertions alone cannot see.
+"""
 
 import pytest
 
@@ -6,6 +13,8 @@ from repro.archive import ArchiveParams, ParallelArchiveSystem
 from repro.pftool import PftoolConfig
 from repro.sim import Environment
 from repro.tapesim import TapeSpec
+from repro.trace import tracing
+from repro.trace.assertions import TraceAssertions
 
 GB = 1_000_000_000
 MB = 1_000_000
@@ -78,15 +87,21 @@ def test_pfcp_small_files_placed_on_slow_pool():
 
 
 def test_pfcp_single_large_file_nto1_chunks():
-    env = Environment()
-    system = small_site(env)
-    seed_scratch(env, system, {"/big/one.dat": 20 * GB})
-    cfg = cfg_small(chunk_threshold=4 * GB, copy_chunk_size=2 * GB)
-    job = system.archive("/big", "/a", cfg)
-    stats = env.run(job.done)
+    with tracing() as tracer:
+        env = Environment()
+        system = small_site(env)
+        seed_scratch(env, system, {"/big/one.dat": 20 * GB})
+        cfg = cfg_small(chunk_threshold=4 * GB, copy_chunk_size=2 * GB)
+        job = system.archive("/big", "/a", cfg)
+        stats = env.run(job.done)
     assert stats.files_copied == 1
     assert stats.chunks_copied == 10  # 20GB / 2GB
     assert system.archive_fs.lookup("/a/one.dat").size == 20 * GB
+    # trace: the 10 chunk spans tile [0, 20GB) with no gap or overlap
+    ta = TraceAssertions(tracer)
+    ta.span_count("copy:chunk", expect=10)
+    ta.covers("copy:chunk", 20 * GB, per="args:dst")
+    ta.span_count("pftool:job", expect=1)
 
 
 def test_nto1_parallelism_speeds_up_large_copy():
@@ -151,18 +166,19 @@ def test_pfcm_compare_clean_and_corrupted():
 
 
 def test_restore_from_tape_roundtrip():
-    env = Environment()
-    system = small_site(env)
-    layout = {f"/d/f{i}": 20 * MB for i in range(8)}
-    seed_scratch(env, system, layout)
-    env.run(system.archive("/d", "/a", cfg_small()).done)
-    report = env.run(system.migrate_to_tape())
-    assert report.files == 8
-    for i in range(8):
-        assert system.archive_fs.lookup(f"/a/f{i}").is_stub
-    # retrieve back to scratch
-    job = system.retrieve("/a", "/restored", cfg_small())
-    stats = env.run(job.done)
+    with tracing() as tracer:
+        env = Environment()
+        system = small_site(env)
+        layout = {f"/d/f{i}": 20 * MB for i in range(8)}
+        seed_scratch(env, system, layout)
+        env.run(system.archive("/d", "/a", cfg_small()).done)
+        report = env.run(system.migrate_to_tape())
+        assert report.files == 8
+        for i in range(8):
+            assert system.archive_fs.lookup(f"/a/f{i}").is_stub
+        # retrieve back to scratch
+        job = system.retrieve("/a", "/restored", cfg_small())
+        stats = env.run(job.done)
     assert stats.tape_files_restored == 8
     assert stats.files_copied == 8
     for i in range(8):
@@ -172,6 +188,15 @@ def test_restore_from_tape_roundtrip():
             node.content_token
             == system.scratch_fs.lookup(f"/d/f{i}").content_token
         )
+    # trace: stores complete before their volume is recalled, recalls on
+    # each volume proceed in ascending tape sequence (the §4.1.1 ordered
+    # recall), and no drive is ever double-mounted
+    ta = TraceAssertions(tracer)
+    assert ta.span_count("tsm:recall") == 8
+    ta.monotonic("tsm:recall", "seq", per="args:volume")
+    ta.monotonic("tape:restore", "seq", per="args:volume")
+    ta.happens_before("tsm:store", "tsm:recall", per="args:volume")
+    ta.no_overlap("drive:mounted", per="tid")
 
 
 def test_restore_mixed_resident_and_migrated():

@@ -1,0 +1,86 @@
+"""Property-based tests for the tape index's recall-ordering contract.
+
+``TapeIndexDB.sort_tape_order`` is the heart of PFTool's ordered recall
+(§4.1.2): whatever batch of file locations a lookup returns, the
+arrangement handed to TapeProcs must be (a) a permutation of the input,
+(b) grouped by volume with volumes in sorted order, and (c) ascending in
+tape sequence within each volume — with ties kept in input order (stable
+sort), so equal-seq aggregate members recall in deterministic order.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tapedb.tapeindex import TapeIndexDB, TapeLocation
+
+volumes = st.sampled_from([f"A{i:05d}" for i in range(6)])
+
+locations = st.builds(
+    TapeLocation,
+    object_id=st.integers(min_value=1, max_value=10**6),
+    path=st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="\0"),
+        min_size=1, max_size=20,
+    ).map(lambda s: "/" + s),
+    filespace=st.just("archive"),
+    volume=volumes,
+    seq=st.integers(min_value=1, max_value=50),
+    nbytes=st.integers(min_value=0, max_value=10**12),
+)
+
+batches = st.lists(locations, max_size=200)
+
+
+@given(batches)
+@settings(max_examples=200)
+def test_sort_tape_order_is_a_permutation(batch):
+    out = TapeIndexDB.sort_tape_order(batch)
+    flat = [loc for vol_locs in out.values() for loc in vol_locs]
+    assert Counter(id(l) for l in flat) == Counter(id(l) for l in batch)
+
+
+@given(batches)
+@settings(max_examples=200)
+def test_sort_tape_order_groups_and_sorts(batch):
+    out = TapeIndexDB.sort_tape_order(batch)
+    # volumes appear in sorted order, no empty or foreign groups
+    assert list(out) == sorted({loc.volume for loc in batch})
+    for vol, vol_locs in out.items():
+        assert vol_locs, f"empty group {vol}"
+        assert all(loc.volume == vol for loc in vol_locs)
+        seqs = [loc.seq for loc in vol_locs]
+        assert seqs == sorted(seqs)
+
+
+@given(batches)
+@settings(max_examples=200)
+def test_sort_tape_order_is_stable(batch):
+    """Equal (volume, seq) entries keep their input order — the sort must
+    be a *stable* sort by (volume, seq), nothing stronger."""
+    out = TapeIndexDB.sort_tape_order(batch)
+    for vol, vol_locs in out.items():
+        input_order = {
+            id(loc): i for i, loc in enumerate(batch) if loc.volume == vol
+        }
+        by_seq: dict[int, list[int]] = {}
+        for loc in vol_locs:
+            by_seq.setdefault(loc.seq, []).append(input_order[id(loc)])
+        for seq, positions in by_seq.items():
+            assert positions == sorted(positions), (
+                f"ties on {vol}/seq={seq} reordered: {positions}"
+            )
+
+
+@given(batches)
+@settings(max_examples=50)
+def test_sort_tape_order_matches_reference_sort(batch):
+    """Whole-output oracle: flattening the groups equals one stable sort
+    of the input by (volume, seq)."""
+    out = TapeIndexDB.sort_tape_order(batch)
+    flat = [loc for vol_locs in out.values() for loc in vol_locs]
+    ref = sorted(
+        range(len(batch)), key=lambda i: (batch[i].volume, batch[i].seq)
+    )
+    assert [id(l) for l in flat] == [id(batch[i]) for i in ref]

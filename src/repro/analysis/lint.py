@@ -19,6 +19,7 @@ from repro.analysis.rules_queues import (
     QueueComplexityRule,
     QueueDisciplineRule,
 )
+from repro.analysis.rules_recovery import JournalIntentRule
 
 __all__ = ["default_rules", "main"]
 
@@ -31,14 +32,15 @@ def default_rules() -> list[Rule]:
         PayloadSchemaRule(),
         BlockingReceiveRule(),
         QueueComplexityRule(),
+        JournalIntentRule(),
     ]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Static checks for repro's determinism, protocol and "
-        "queue-discipline invariants (RA001-RA006).",
+        description="Static checks for repro's determinism, protocol, "
+        "queue-discipline and crash-journal invariants (RA001-RA007).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

@@ -1,0 +1,109 @@
+"""RA007 — journal-before-mutate: archive mutations need a durable intent.
+
+The crash-recovery design (see :mod:`repro.recovery`) only works if
+every code path that mutates durable archive state — TSM deletes and
+stores, GPFS unlinks in the delete/migrate machinery — first writes a
+journal intent/lease.  A mutating call added without its bracket is
+exactly the half-applied state :class:`~repro.recovery.agent.
+RecoveryAgent` cannot see, so the bracket is enforced statically:
+within deleter/migrator/recovery code, a call to a known
+archive-mutating method must be preceded (same enclosing top-level
+function, earlier line) by some call through a ``journal`` attribute.
+
+The scope is deliberately narrow: only the packages that own the
+two-phase protocols are covered.  The legacy reconcile walk
+(:mod:`repro.hsm.reconcile`) stays exempt — deleting an orphan that has
+no file-system side *is* its journal-free contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["ARCHIVE_MUTATORS", "COVERED_PATHS", "JournalIntentRule"]
+
+#: method names whose call mutates durable archive state
+ARCHIVE_MUTATORS = frozenset(
+    {
+        "delete_object",
+        "unlink_op",
+        "_unlink_now",
+        "store_many",
+        "store_aggregate",
+        "store_objects",
+    }
+)
+
+#: relpath prefixes/fragments where the bracket is mandatory
+COVERED_PATHS = (
+    "repro/archive/",
+    "repro/hsm/manager",
+    "repro/recovery/",
+)
+
+
+def _covered(relpath: str) -> bool:
+    return any(frag in relpath for frag in COVERED_PATHS)
+
+
+def _mentions_journal(call: ast.Call) -> bool:
+    """True for calls routed through a ``journal`` attribute/name."""
+    name = dotted_name(call.func)
+    return name is not None and "journal" in name.split(".")
+
+
+class JournalIntentRule(Rule):
+    """Flag archive-mutating calls with no preceding journal write."""
+
+    code = "RA007"
+    name = "journal-before-mutate"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _covered(module.relpath):
+            return
+        # Top-level functions only: a method and the closures it defines
+        # (the ubiquitous `_proc` generator) are one protocol scope.
+        for scope in self._top_level_functions(module.tree):
+            journal_lines = [
+                node.lineno for node in ast.walk(scope)
+                if isinstance(node, ast.Call) and _mentions_journal(node)
+            ]
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and func.attr in ARCHIVE_MUTATORS):
+                    continue
+                if any(line < node.lineno for line in journal_lines):
+                    continue
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"archive-mutating call .{func.attr}() in "
+                        f"{scope.name}() has no preceding journal "
+                        f"intent write"
+                    ),
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+    @staticmethod
+    def _top_level_functions(tree: ast.Module):
+        """Module- and class-level function defs (not nested closures)."""
+        def walk(node, in_function: bool):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not in_function:
+                        yield child
+                    yield from walk(child, True)
+                elif isinstance(child, ast.ClassDef):
+                    yield from walk(child, in_function)
+                else:
+                    yield from walk(child, in_function)
+
+        yield from walk(tree, False)

@@ -10,18 +10,34 @@ paper's design:
 * an administrative sweep lists trashcan entries by age/size via the
   GPFS policy engine and hands them to the **synchronous deleter**,
   which looks up the GPFS file id and the TSM object id (via the
-  indexed tape DB) and deletes *both sides at the same time* — no
-  orphans, no reconcile.
+  indexed tape DB) and deletes *both sides* — no orphans, no reconcile.
+
+Crash safety: "both sides at the same time" is not atomic when the
+deleter itself can die between the GPFS unlink and the TSM delete.  The
+deleter therefore runs a **two-phase** protocol against a durable
+:class:`~repro.recovery.journal.JobJournal`::
+
+    delete_intent  ->  GPFS unlink  ->  delete_fs_done
+                   ->  TSM delete + tapedb remove  ->  delete_done
+
+and only *then* drops the trashcan entry.  A crash leaves a dangling
+intent naming exactly the file to reconcile — the
+:class:`~repro.recovery.agent.RecoveryAgent` replays it with a targeted
+tapedb lookup instead of an O(all files) walk.  Until ``delete_done``
+the trashcan entry stays visible (with its ``tsm_object_id``); it is
+merely marked in-flight so the next sweep does not double-delete it.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.faults import CrashFault
 from repro.pfs import GpfsFileSystem, PathError
-from repro.sim import AllOf, Environment, Event, SimulationError
+from repro.recovery.journal import JobJournal
+from repro.sim import Environment, Event, Process, SimulationError
 from repro.tapedb import TapeIndexDB
 from repro.tsm import TsmServer
 
@@ -38,6 +54,10 @@ class TrashEntry:
     trashed_at: float
     size: int
     tsm_object_id: Optional[int]
+    #: a two-phase delete of this entry is in flight (or died mid-way);
+    #: the entry stays *visible* so recovery can find it, but sweeps and
+    #: undelete skip it
+    deleting: bool = field(default=False, compare=False)
 
 
 class Trashcan:
@@ -74,7 +94,9 @@ class Trashcan:
     def undelete(self, original_path: str) -> bool:
         """Restore the most recently trashed instance of *original_path*."""
         candidates = [
-            e for e in self.entries.values() if e.original_path == original_path
+            e for e in self.entries.values()
+            if e.original_path == original_path and not e.deleting
+            and self.fs.exists(e.trash_path)
         ]
         if not candidates:
             return False
@@ -86,12 +108,24 @@ class Trashcan:
         return True
 
     def list_older_than(self, age: float) -> list[TrashEntry]:
-        """The policy-engine list feeding the sweep (age-based)."""
+        """The policy-engine list feeding the sweep (age-based).
+
+        Entries whose two-phase delete is already in flight are excluded
+        — they belong to the deleter (or, after a crash, to recovery).
+        """
         now = self.fs.env.now
         return sorted(
-            (e for e in self.entries.values() if now - e.trashed_at >= age),
+            (
+                e for e in self.entries.values()
+                if now - e.trashed_at >= age and not e.deleting
+            ),
             key=lambda e: e.trashed_at,
         )
+
+    def mark_deleting(self, trash_path: str) -> None:
+        entry = self.entries.get(trash_path)
+        if entry is not None:
+            entry.deleting = True
 
     def pop(self, trash_path: str) -> Optional[TrashEntry]:
         return self.entries.pop(trash_path, None)
@@ -101,7 +135,7 @@ class Trashcan:
 
 
 class SynchronousDeleter:
-    """Deletes file-system entry and tape object at the same time.
+    """Deletes file-system entry and tape object under a two-phase intent.
 
     Needs administrator powers: the GPFS file-id lookup and the TSM
     delete are privileged (§4.2.6), which is why user deletes go through
@@ -115,48 +149,97 @@ class SynchronousDeleter:
         tsm: TsmServer,
         tapedb: Optional[TapeIndexDB] = None,
         filespace: str = "archive",
+        journal: Optional[JobJournal] = None,
+        trashcan: Optional[Trashcan] = None,
     ) -> None:
         self.env = env
         self.fs = fs
         self.tsm = tsm
         self.tapedb = tapedb
         self.filespace = filespace
+        #: the durable intent log; every mutation is bracketed by it
+        self.journal = journal if journal is not None else JobJournal(env)
+        self.trashcan = trashcan
         self.deleted_files = 0
         self.deleted_objects = 0
+        self._active: list[Process] = []
 
-    def delete_entries(self, entries: Sequence[TrashEntry]) -> Event:
-        """Synchronously delete trashcan entries; fires with the count."""
+    # -- crash model ---------------------------------------------------
+    def crash(self, cause=None) -> None:
+        """Kill every in-flight delete batch (the deleter host dies).
+
+        Whatever phase each intent reached stays exactly as the journal
+        recorded it; :class:`~repro.recovery.agent.RecoveryAgent` replays
+        the dangling intents on restart.
+        """
+        if not isinstance(cause, BaseException):
+            cause = CrashFault(
+                f"deleter crashed at t={self.env.now:.1f}"
+            )
+        for proc in self._active:
+            proc.kill(cause)
+        self._active = []
+
+    def _track(self, proc: Process) -> None:
+        self._active = [p for p in self._active if p.is_alive]
+        self._active.append(proc)
+
+    # -- delete paths --------------------------------------------------
+    def _resolve_oid(self, e: TrashEntry) -> Optional[int]:
+        oid = e.tsm_object_id
+        if oid is None and self.tapedb is not None:
+            # deleted-then-exported files: resolve via the index
+            loc = self.tapedb.object_for_path(self.filespace, e.original_path)
+            oid = loc.object_id if loc else None
+        return oid
+
+    def delete_entries(
+        self,
+        entries: Sequence[TrashEntry],
+        trashcan: Optional[Trashcan] = None,
+    ) -> Event:
+        """Two-phase delete of trashcan entries; fires with the count."""
         done = self.env.event()
         entries = list(entries)
+        tc = trashcan if trashcan is not None else self.trashcan
 
         def _proc():
             count = 0
             for e in entries:
-                oid = e.tsm_object_id
-                if oid is None and self.tapedb is not None:
-                    # deleted-then-exported files: resolve via the index
-                    loc = self.tapedb.object_for_path(
-                        self.filespace, e.original_path
-                    )
-                    oid = loc.object_id if loc else None
-                ops = []
+                oid = self._resolve_oid(e)
+                intent_id = self.journal.delete_intent(
+                    e.trash_path, e.original_path, oid
+                )
+                if tc is not None:
+                    tc.mark_deleting(e.trash_path)
+                tr = self.env.trace
+                span = tr.begin(
+                    "delete:two_phase", tid="deleter", cat="archive",
+                    args={"trash_path": e.trash_path, "oid": oid},
+                ) if tr.enabled else None
+                # phase 1: file-system side
                 try:
-                    ops.append(self.fs.unlink_op(e.trash_path))
+                    yield self.fs.unlink_op(e.trash_path)
                 except PathError:
                     pass
+                self.journal.delete_fs_done(intent_id)
+                # phase 2: tape side
                 if oid is not None:
-                    ops.append(self.tsm.delete_object(oid))
-                if ops:
-                    yield AllOf(self.env, ops)
-                if oid is not None:
-                    self.deleted_objects += 1
+                    ok = yield self.tsm.delete_object(oid)
+                    if ok:
+                        self.deleted_objects += 1
                     if self.tapedb is not None:
                         self.tapedb.remove(oid)
+                self.journal.delete_done(intent_id)
+                if tc is not None:
+                    tc.pop(e.trash_path)
                 self.deleted_files += 1
                 count += 1
+                if span is not None:
+                    span.end()
             done.succeed(count)
 
-        self.env.process(_proc(), name="sync-delete")
+        self._track(self.env.process(_proc(), name="sync-delete"))
         return done
 
     def delete_path(self, path: str) -> Event:
@@ -171,16 +254,41 @@ class SynchronousDeleter:
                 done.succeed(0)
                 return
             oid = inode.tsm_object_id
-            ops = [self.fs.unlink_op(path)]
+            intent_id = self.journal.delete_intent(path, path, oid)
+            yield self.fs.unlink_op(path)
+            self.journal.delete_fs_done(intent_id)
             if oid is not None:
-                ops.append(self.tsm.delete_object(oid))
-            yield AllOf(self.env, ops)
-            if oid is not None:
-                self.deleted_objects += 1
+                ok = yield self.tsm.delete_object(oid)
+                if ok:
+                    self.deleted_objects += 1
                 if self.tapedb is not None:
                     self.tapedb.remove(oid)
+            self.journal.delete_done(intent_id)
             self.deleted_files += 1
             done.succeed(1)
 
-        self.env.process(_proc(), name="sync-delete-path")
+        self._track(self.env.process(_proc(), name="sync-delete-path"))
+        return done
+
+    def delete_orphan_objects(self, object_ids: Sequence[int]) -> Event:
+        """Delete tape objects with no file-system side (overwrite
+        orphans); still intent-bracketed so a crash mid-batch is found."""
+        done = self.env.event()
+        oids = list(object_ids)
+
+        def _proc():
+            count = 0
+            for oid in oids:
+                intent_id = self.journal.delete_intent("", "", oid)
+                self.journal.delete_fs_done(intent_id)  # no fs side
+                ok = yield self.tsm.delete_object(oid)
+                if ok:
+                    self.deleted_objects += 1
+                if self.tapedb is not None:
+                    self.tapedb.remove(oid)
+                self.journal.delete_done(intent_id)
+                count += 1
+            done.succeed(count)
+
+        self._track(self.env.process(_proc(), name="sync-delete-orphans"))
         return done

@@ -19,9 +19,10 @@ from typing import Optional, Sequence
 
 import heapq
 
+from repro.faults import CrashFault
 from repro.hsm import HsmManager
 from repro.pfs.policy import PolicyHit
-from repro.sim import AllOf, Environment, Event, SimulationError
+from repro.sim import AllOf, Environment, Event, Process, SimulationError
 
 __all__ = ["BalancedMigrator", "MigrationReport"]
 
@@ -53,6 +54,24 @@ class BalancedMigrator:
     def __init__(self, env: Environment, hsm: HsmManager) -> None:
         self.env = env
         self.hsm = hsm
+        #: in-flight round + watcher processes, for crash injection
+        self._active: list[Process] = []
+
+    def crash(self, cause=None) -> None:
+        """Kill the in-flight migration round and its HSM batches.
+
+        Models the migrator driver host dying mid-round: submitted TSM
+        stores finish server-side, receipts are never applied, and the
+        dangling leases in the HSM journal name the affected paths.
+        """
+        if not isinstance(cause, BaseException):
+            cause = CrashFault(
+                f"balanced migrator crashed at t={self.env.now:.1f}"
+            )
+        for proc in self._active:
+            proc.kill(cause)
+        self._active = []
+        self.hsm.crash(cause)
 
     @staticmethod
     def partition(
@@ -105,7 +124,9 @@ class BalancedMigrator:
                     yield ev
                     report.node_finish[node] = self.env.now
 
-                finish_events.append(self.env.process(_watch()))
+                watcher = self.env.process(_watch())
+                finish_events.append(watcher)
+                self._active.append(watcher)
             if finish_events:
                 yield AllOf(self.env, finish_events)
             report.files = sum(len(b) for b in buckets.values())
@@ -115,5 +136,7 @@ class BalancedMigrator:
             report.duration = self.env.now - t0
             done.succeed(report)
 
-        self.env.process(_proc(), name="balanced-migrate")
+        proc = self.env.process(_proc(), name="balanced-migrate")
+        self._active = [p for p in self._active if p.is_alive]
+        self._active.append(proc)
         return done

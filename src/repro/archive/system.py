@@ -41,6 +41,7 @@ from repro.pftool import (
     pfdu,
     pfls,
 )
+from repro.recovery.journal import JobJournal
 from repro.sim import Environment, Event
 from repro.tapedb import TapeIndexDB, TsmDbExporter
 from repro.tapesim import TapeLibrary, TapeSpec
@@ -92,10 +93,15 @@ class ParallelArchiveSystem:
         env: Environment,
         params: Optional[ArchiveParams] = None,
         monitor=None,
+        journal: Optional[JobJournal] = None,
     ):
         self.env = env
         self.params = p = params or ArchiveParams()
         self.monitor = monitor
+        #: site-wide intent journal: two-phase delete intents and HSM
+        #: migration leases land here; per-job copy journals are separate
+        #: (pass ``journal=`` to :meth:`archive` / :meth:`retrieve`).
+        self.journal = journal if journal is not None else JobJournal(env)
 
         # -- fabric --------------------------------------------------------
         self.topology: ArchiveSiteTopology = build_archive_site(
@@ -180,6 +186,7 @@ class ParallelArchiveSystem:
             nodes=list(self.topology.fta_nodes),
             filespace=p.filespace,
             recall_routing=p.recall_routing,
+            journal=self.journal,
         )
         self.tapedb = TapeIndexDB(env)
         self.exporter = TsmDbExporter(env, self.tsm, self.tapedb)
@@ -188,7 +195,8 @@ class ParallelArchiveSystem:
         self.fuse = ArchiveFuseFS(self.archive_fs)
         self.trashcan = Trashcan(self.archive_fs)
         self.deleter = SynchronousDeleter(
-            env, self.archive_fs, self.tsm, self.tapedb, p.filespace
+            env, self.archive_fs, self.tsm, self.tapedb, p.filespace,
+            journal=self.journal, trashcan=self.trashcan,
         )
         self.migrator = BalancedMigrator(env, self.hsm)
         self.loadmanager = LoadManager(env, list(self.topology.fta_nodes))
@@ -249,16 +257,48 @@ class ParallelArchiveSystem:
         )
 
     def archive(
-        self, src: str, dst: str, cfg: Optional[PftoolConfig] = None
+        self, src: str, dst: str, cfg: Optional[PftoolConfig] = None,
+        journal: Optional[JobJournal] = None,
     ) -> PftoolJob:
         """``pfcp`` scratch -> archive."""
-        return pfcp(self.env, self._ctx("in"), src, dst, cfg)
+        return pfcp(self.env, self._ctx("in"), src, dst, cfg, journal=journal)
 
     def retrieve(
-        self, src: str, dst: str, cfg: Optional[PftoolConfig] = None
+        self, src: str, dst: str, cfg: Optional[PftoolConfig] = None,
+        journal: Optional[JobJournal] = None,
     ) -> PftoolJob:
         """``pfcp`` archive -> scratch (tape-aware ordered recall)."""
-        return pfcp(self.env, self._ctx("out"), src, dst, cfg)
+        return pfcp(self.env, self._ctx("out"), src, dst, cfg, journal=journal)
+
+    def resume_job(
+        self, journal: JobJournal, cfg: Optional[PftoolConfig] = None
+    ) -> PftoolJob:
+        """Restart a crashed ``pfcp`` from its journal.
+
+        Direction is recovered from the journal's job-open record; the
+        resumed job dedupes every chunk/file the journal already names.
+        """
+        meta = journal.job_meta
+        if meta is None:
+            raise ValueError("journal has no job-open record to resume from")
+        direction = "in" if meta.get("src_fs") == self.scratch_fs.name else "out"
+        return PftoolJob.resume(self.env, self._ctx(direction), journal, cfg)
+
+    def recover(self) -> Event:
+        """Post-crash recovery over the site journal: replay dangling
+        two-phase delete intents and adopt orphaned migration leases.
+        Fires with a :class:`~repro.recovery.agent.RecoveryReport`."""
+        from repro.recovery.agent import RecoveryAgent
+
+        return RecoveryAgent(
+            self.env,
+            self.journal,
+            self.archive_fs,
+            self.tsm,
+            tapedb=self.tapedb,
+            trashcan=self.trashcan,
+            filespace=self.params.filespace,
+        ).recover()
 
     def list_archive(self, path: str, cfg: Optional[PftoolConfig] = None) -> PftoolJob:
         """``pfls`` over the archive namespace."""
@@ -375,19 +415,19 @@ class ParallelArchiveSystem:
         done = self.env.event()
 
         def _proc():
+            # Entries stay in the trashcan until the deleter's two-phase
+            # protocol reaches DONE — popping them here would lose the
+            # tsm_object_id if the deleter died between the GPFS unlink
+            # and the TSM delete (the satellite-1 accounting bug).
             entries = self.trashcan.list_older_than(min_age)
-            for e in entries:
-                self.trashcan.pop(e.trash_path)
             n = 0
             if entries:
                 n = yield self.deleter.delete_entries(entries)
-            # stale objects from plain-file overwrites
+            # stale objects from plain-file overwrites — intent-bracketed
+            # through the deleter so a crash mid-batch is recoverable
             orphans, self.overwrite_orphans = self.overwrite_orphans, []
-            for oid in orphans:
-                ok = yield self.tsm.delete_object(oid)
-                if ok:
-                    self.tapedb.remove(oid)
-                    n += 1
+            if orphans:
+                n += yield self.deleter.delete_orphan_objects(orphans)
             done.succeed(n)
 
         self.env.process(_proc(), name="trash-sweep")

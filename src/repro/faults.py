@@ -29,7 +29,13 @@ class       meaning
 ``node``    FTA node outage window (data ops from that node fail)
 ``path``    namespace error (missing/changed file)
 ``io``      any other simulation-level I/O error
+``crash``   a component process was killed mid-flight (:class:`CrashFault`)
 ==========  ===========================================================
+
+Crash faults differ from every other class: they are not *raised* into a
+retryable operation but delivered by :meth:`~repro.sim.Process.kill`,
+tearing down a component's in-flight state.  Recovery is therefore not a
+retry but a restart — see :mod:`repro.recovery`.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.sim import Environment, RandomStreams, SimulationError
 
 __all__ = [
+    "CrashFault",
     "DriveFault",
     "DriveOutage",
     "ErrorBurst",
@@ -49,6 +56,7 @@ __all__ = [
     "FaultPlan",
     "NodeOutage",
     "NodeOutageFault",
+    "ProcessCrash",
     "TransientIOFault",
     "TsmFault",
     "classify_failure",
@@ -86,6 +94,12 @@ class NodeOutageFault(FaultError):
     """An FTA node is down; data operations from it fail."""
 
     fault_class = "node"
+
+
+class CrashFault(FaultError):
+    """A component process was killed mid-flight (crash, not an error)."""
+
+    fault_class = "crash"
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -158,6 +172,20 @@ class ErrorBurst:
         return self.start <= now < self.until
 
 
+@dataclass(frozen=True)
+class ProcessCrash:
+    """Kill the component registered under *target* at sim time *at*.
+
+    Targets are symbolic names ("manager", "worker", "deleter",
+    "migrator", ...) bound late via
+    :meth:`FaultInjector.register_crash_target`, because the component
+    (e.g. a PFTool job) usually does not exist yet when the plan is armed.
+    """
+
+    at: float
+    target: str
+
+
 # ----------------------------------------------------------------------
 # the plan
 # ----------------------------------------------------------------------
@@ -176,6 +204,7 @@ class FaultPlan:
         self.node_outages: list[NodeOutage] = []
         self.tsm_bursts: list[ErrorBurst] = []
         self.fs_bursts: list[ErrorBurst] = []
+        self.crashes: list[ProcessCrash] = []
 
     def drive_failure(
         self, at: float, drive: str, repair_after: Optional[float] = None
@@ -211,11 +240,16 @@ class FaultPlan:
         )
         return self
 
+    def crash(self, at: float, target: str) -> "FaultPlan":
+        """Kill the component registered under *target* at sim time *at*."""
+        self.crashes.append(ProcessCrash(at, target))
+        return self
+
     def __repr__(self) -> str:
         return (
             f"<FaultPlan seed={self.seed} drives={len(self.drive_outages)} "
             f"nodes={len(self.node_outages)} tsm={len(self.tsm_bursts)} "
-            f"fs={len(self.fs_bursts)}>"
+            f"fs={len(self.fs_bursts)} crashes={len(self.crashes)}>"
         )
 
 
@@ -258,7 +292,25 @@ class FaultInjector:
         #: fault_class -> number of faults actually injected
         self.injected: dict[str, int] = {}
         self._burst_counts: dict[int, int] = {}
+        #: late-bound crash targets: symbolic name -> kill callable
+        self._crash_targets: dict[str, Callable[[CrashFault], None]] = {}
+        #: crash entries that fired with no registered target at that time
+        self.crash_misses: list[ProcessCrash] = []
         self._armed = False
+
+    # -- crash targets -------------------------------------------------
+    def register_crash_target(
+        self, name: str, kill: Callable[[CrashFault], None]
+    ) -> None:
+        """Bind *name* to a kill callable (late: components come and go).
+
+        Re-registering replaces the previous binding, so a harness can
+        point "manager" at whichever job is currently running.
+        """
+        self._crash_targets[name] = kill
+
+    def unregister_crash_target(self, name: str) -> None:
+        self._crash_targets.pop(name, None)
 
     # -- bookkeeping ---------------------------------------------------
     def _record(self, fault_class: str) -> None:
@@ -324,7 +376,25 @@ class FaultInjector:
             self.tsm.fault_hook = _chain(self.tsm.fault_hook, self._tsm_hook)
         for fs in self.filesystems:
             fs.fault_hook = _chain(fs.fault_hook, self._fs_hook)
+        for crash in self.plan.crashes:
+            self.env.process(
+                self._crash_proc(crash), name=f"crash-{crash.target}"
+            )
         return self
+
+    def _crash_proc(self, crash: ProcessCrash) -> Iterable:
+        if crash.at > 0:
+            yield self.env.timeout(crash.at)
+        kill = self._crash_targets.get(crash.target)
+        if kill is None:
+            self.crash_misses.append(crash)
+            return
+        kill(
+            CrashFault(
+                f"injected crash of {crash.target} at t={self.env.now:.1f}"
+            )
+        )
+        self._record("crash")
 
     def _drive_proc(self, outage: DriveOutage) -> Iterable:
         if outage.at > 0:

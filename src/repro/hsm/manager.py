@@ -23,8 +23,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.faults import CrashFault
 from repro.pfs import GpfsFileSystem, HsmState
-from repro.sim import AllOf, Environment, Event, SimulationError, Store
+from repro.recovery.journal import JobJournal
+from repro.sim import AllOf, Environment, Event, Process, SimulationError, Store
 from repro.tsm import StoredObject, TsmServer
 
 __all__ = ["HsmManager", "RecallRequest"]
@@ -58,6 +60,11 @@ class HsmManager:
     aggregate_threshold:
         Files smaller than this are bundled into aggregates during
         migration when ``aggregate=True`` (0 disables).
+    journal:
+        Optional :class:`~repro.recovery.journal.JobJournal`; every
+        migration batch takes a lease before storing to tape so a crash
+        between the TSM store and the stub punch leaves a dangling lease
+        naming exactly the paths whose objects may need adoption.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class HsmManager:
         filespace: str = "archive",
         recall_routing: str = "naive",
         aggregate_threshold: int = 256 * 1024 * 1024,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if not nodes:
             raise SimulationError("HSM needs at least one daemon node")
@@ -94,8 +102,30 @@ class HsmManager:
         self.bytes_migrated = 0.0
         self.files_recalled = 0
         self.bytes_recalled = 0.0
+        #: durable lease log (see class docstring)
+        self.journal = journal if journal is not None else JobJournal(env)
+        #: in-flight migration processes, for crash injection
+        self._active_migrations: list[Process] = []
         # register as the FS's DMAPI recall handler
         fs.recall_handler = self._dmapi_recall
+
+    # ------------------------------------------------------------------
+    # crash model
+    # ------------------------------------------------------------------
+    def crash(self, cause=None) -> None:
+        """Kill every in-flight migration batch (the migrator host dies).
+
+        The TSM server keeps running: stores already submitted complete
+        *server-side*, producing tape objects whose receipts were never
+        applied — the exact orphan inconsistency the dangling lease lets
+        recovery adopt.  Recall daemons stay up (the node is modelled as
+        losing only its migration work).
+        """
+        if not isinstance(cause, BaseException):
+            cause = CrashFault(f"hsm migrator crashed at t={self.env.now:.1f}")
+        for proc in self._active_migrations:
+            proc.kill(cause)
+        self._active_migrations = []
 
     # ------------------------------------------------------------------
     # migration
@@ -143,6 +173,11 @@ class HsmManager:
             small = [(p, n) for p, n in items if aggregate and n < self.aggregate_threshold]
             large = [(p, n) for p, n in items if not aggregate or n >= self.aggregate_threshold]
 
+            # Lease BEFORE the first store: from here until lease_done the
+            # journal names every path whose tape object may lack receipts.
+            lease_id = self.journal.migration_lease(
+                node, [p for p, _ in items], punch
+            )
             # GPFS-side reads race the tape writes on the fabric (pipeline).
             read_side = self.env.process(
                 self._read_side(node, [p for p, _ in items]),
@@ -162,12 +197,17 @@ class HsmManager:
                     self.fs.punch_stub(r.path)
                 self.files_migrated += 1
                 self.bytes_migrated += r.nbytes
+            self.journal.migration_done(lease_id)
             if span is not None:
                 span.end()
                 tr.metrics.counter("hsm.files_migrated").inc(len(receipts))
             done.succeed(receipts)
 
-        self.env.process(_proc(), name=f"hsm-migrate-{node}")
+        proc = self.env.process(_proc(), name=f"hsm-migrate-{node}")
+        self._active_migrations = [
+            p for p in self._active_migrations if p.is_alive
+        ]
+        self._active_migrations.append(proc)
         return done
 
     def _read_side(self, node: str, paths: list[str]):

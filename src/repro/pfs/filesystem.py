@@ -400,6 +400,10 @@ class GpfsFileSystem:
             self._allocate(inode, target, nbytes)
             inode.hsm_state = HsmState.RESIDENT
             inode.mtime = self.env.now
+            # A sized create is a full-size *hole* until the copy that
+            # provisioned it stamps completion (set_token).  Restart
+            # logic must not mistake it for finished data.
+            inode.xattrs["__inflight__"] = True
             done.succeed(inode)
 
         self.env.process(_proc(), name=f"create-sized {path}")
@@ -497,7 +501,9 @@ class GpfsFileSystem:
 
     def set_token(self, path: str, token: int) -> None:
         """Stamp the content fingerprint (copy completion)."""
-        self.namespace.lookup(path).content_token = token
+        inode = self.namespace.lookup(path)
+        inode.content_token = token
+        inode.xattrs.pop("__inflight__", None)
 
     # ------------------------------------------------------------------
     # space accounting

@@ -3,13 +3,22 @@
 A :class:`PftoolJob` builds the communicator, spawns every rank as a DES
 process, and exposes a completion event that fires with the job's
 :class:`~repro.pftool.stats.JobStats`.
+
+Crash recovery (see :mod:`repro.recovery`): pass a
+:class:`~repro.recovery.journal.JobJournal` and the Manager appends a
+completion record as each chunk/file lands; :meth:`PftoolJob.crash` and
+:meth:`PftoolJob.crash_rank` model the whole job (or one FTA rank) dying
+mid-flight; :meth:`PftoolJob.resume` rebuilds a job from the journal and
+re-copies only what never made it.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.analysis.monitor import default_monitor
+from repro.faults import CrashFault
 from repro.mpisim import SimComm
 from repro.pftool.config import PftoolConfig, RuntimeContext
 from repro.pftool.manager import Abort, Manager
@@ -22,7 +31,8 @@ from repro.pftool.ranks import (
     worker_proc,
 )
 from repro.pftool.stats import JobStats
-from repro.sim import Environment, Event, SimulationError
+from repro.recovery.journal import JobJournal
+from repro.sim import Environment, Event, Process, SimulationError
 
 __all__ = ["PftoolJob", "pfcm", "pfcp", "pfdu", "pfls"]
 
@@ -42,6 +52,7 @@ class PftoolJob:
         src: str,
         dst: Optional[str] = None,
         cfg: Optional[PftoolConfig] = None,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if op not in ("copy", "list", "compare", "du"):
             raise SimulationError(f"unknown pftool op {op!r}")
@@ -50,15 +61,27 @@ class PftoolJob:
         self.env = env
         self.ctx = ctx
         self.op = op
+        self.src = src
+        self.dst = dst
         self.cfg = cfg or PftoolConfig()
         self.stats = JobStats(op=op)
         self.done: Event = env.event()
+        self.journal = journal
+        if journal is not None and journal.job_meta is None:
+            journal.open_job(
+                op, src, dst or "",
+                src_fs=getattr(ctx.src_fs, "name", ""),
+                dst_fs=getattr(ctx.dst_fs, "name", ""),
+            )
         self.comm = SimComm(env, self.cfg.total_ranks)
         self._manager = Manager(
-            env, self.comm, self.cfg, ctx, op, src, dst, self.stats, self.done
+            env, self.comm, self.cfg, ctx, op, src, dst, self.stats,
+            self.done, journal=journal,
         )
         #: ranks that actually run a process (tape ranks may be skipped)
         self.live_ranks: set[int] = set()
+        #: rank -> its kernel Process, for crash injection
+        self.rank_procs: dict[int, Process] = {}
         monitor = ctx.monitor if ctx.monitor is not None else default_monitor()
         if monitor is not None:
             monitor.attach(self)
@@ -66,36 +89,104 @@ class PftoolJob:
 
     def _spawn_ranks(self) -> None:
         env, comm, cfg, ctx = self.env, self.comm, self.cfg, self.ctx
-        env.process(self._manager.run(), name="pftool-manager")
-        env.process(output_proc(env, comm, 1, self.stats), name="pftool-output")
-        env.process(
+        procs = self.rank_procs
+        procs[0] = env.process(self._manager.run(), name="pftool-manager")
+        procs[1] = env.process(
+            output_proc(env, comm, 1, self.stats), name="pftool-output"
+        )
+        procs[2] = env.process(
             watchdog_proc(env, comm, 2, cfg, self.stats), name="pftool-watchdog"
         )
         self.live_ranks.update((0, 1, 2))
         rank = 3
         for _ in range(cfg.num_readdir):
-            env.process(
+            procs[rank] = env.process(
                 readdir_proc(env, comm, rank, cfg, ctx), name=f"pftool-readdir{rank}"
             )
             self.live_ranks.add(rank)
             rank += 1
         for _ in range(cfg.num_workers):
-            env.process(
+            procs[rank] = env.process(
                 worker_proc(env, comm, rank, cfg, ctx), name=f"pftool-worker{rank}"
             )
             self.live_ranks.add(rank)
             rank += 1
         for _ in range(cfg.num_tapeprocs):
             if ctx.tsm is not None:
-                env.process(
+                procs[rank] = env.process(
                     tape_proc(env, comm, rank, cfg, ctx), name=f"pftool-tape{rank}"
                 )
                 self.live_ranks.add(rank)
             rank += 1
 
+    @property
+    def worker_ranks(self) -> list[int]:
+        """The Worker (FTA data-mover) ranks, in rank order."""
+        first = 3 + self.cfg.num_readdir
+        return list(range(first, first + self.cfg.num_workers))
+
     def cancel(self, reason: str = "cancelled by user") -> None:
         """Abort the job (used by restart experiments / operators)."""
         self.comm.send(0, 0, Abort(reason), TAG_RESULT)
+
+    # -- crash model ---------------------------------------------------
+    def crash(self, cause=None) -> None:
+        """Kill every rank at once (the whole MPI job dies).
+
+        In-flight chunk copies are torn down mid-transfer; nothing is
+        retried and no statistics settle.  ``done`` fails with the crash
+        so ``env.run(job.done)`` surfaces it — recovery goes through
+        :meth:`resume` with the job's journal.
+        """
+        if not isinstance(cause, BaseException):
+            cause = CrashFault(
+                f"pftool {self.op} crashed at t={self.env.now:.1f}"
+            )
+        for proc in self.rank_procs.values():
+            proc.kill(cause)
+        self.stats.aborted = True
+        self.stats.abort_reason = str(cause)
+        if not self.done.triggered:
+            self.done.fail(cause)
+
+    def crash_rank(self, rank: int, cause=None) -> None:
+        """Kill a single rank (one FTA node's mover process dies).
+
+        The rest of the job keeps draining; work assigned to the dead
+        rank never completes, so the WatchDog's stall detector aborts the
+        job once everything else has finished — the operator then resumes
+        from the journal.
+        """
+        proc = self.rank_procs.get(rank)
+        if proc is None:
+            return
+        if not isinstance(cause, BaseException):
+            cause = CrashFault(
+                f"pftool rank {rank} crashed at t={self.env.now:.1f}"
+            )
+        proc.kill(cause)
+
+    @classmethod
+    def resume(
+        cls,
+        env: Environment,
+        ctx: RuntimeContext,
+        journal: JobJournal,
+        cfg: Optional[PftoolConfig] = None,
+    ) -> "PftoolJob":
+        """Rebuild a job from its journal and finish the remaining work.
+
+        The restart re-walks the tree (directory state is authoritative)
+        but consults the journal in ``_dst_current`` / ``_restart_ranges``
+        so whole files and chunk ranges recorded complete are never
+        re-copied.
+        """
+        meta = journal.job_meta
+        if meta is None:
+            raise SimulationError("journal has no job_open record to resume")
+        cfg = replace(cfg or PftoolConfig(), restart=True)
+        return cls(env, ctx, meta["op"], meta["src"], meta["dst"] or None,
+                   cfg, journal=journal)
 
     def __repr__(self) -> str:
         return f"<PftoolJob {self.op} ranks={self.cfg.total_ranks}>"
@@ -107,12 +198,13 @@ def pfcp(
     src: str,
     dst: str,
     cfg: Optional[PftoolConfig] = None,
+    journal: Optional[JobJournal] = None,
 ) -> PftoolJob:
     """Parallel copy (``pfcp``): tree-walk *src* and copy to *dst*.
 
     Returns the job; ``env.run(job.done)`` yields its JobStats.
     """
-    return PftoolJob(env, ctx, "copy", src, dst, cfg)
+    return PftoolJob(env, ctx, "copy", src, dst, cfg, journal=journal)
 
 
 def pfls(

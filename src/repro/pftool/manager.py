@@ -70,6 +70,7 @@ class Manager:
         dst_root: Optional[str],
         stats: JobStats,
         done: Event,
+        journal=None,
     ) -> None:
         self.env = env
         self.comm = comm
@@ -80,6 +81,10 @@ class Manager:
         self.dst_root = (dst_root.rstrip("/") or "/") if dst_root else None
         self.stats = stats
         self.done = done
+        #: optional JobJournal: chunk/file completion records written as
+        #: results land, consulted by the restart path so a resumed job
+        #: never re-copies past the journal frontier
+        self.journal = journal
 
         self.dir_q: deque[DirJob] = deque()
         self.name_q: deque[StatJob] = deque()
@@ -441,7 +446,12 @@ class Manager:
             # (dict.fromkeys keeps insertion order, unlike a set - RA001)
             covered = sum(l for _, l in dict.fromkeys(map(tuple, done_ranges)))
             return covered >= spec.size
-        return True
+        if self.journal is not None and self.journal.file_done(dst, spec.size):
+            return True
+        # A bare size/mtime match is NOT proof the data landed: a sized
+        # create makes a full-size hole immediately, so a crash before
+        # completion (set_token) would otherwise get skipped on resume.
+        return "__inflight__" not in dnode.xattrs
 
     def _enqueue_chunk_job(self, job: CopyJob, dst_key: str) -> None:
         """Serialize destination provisioning: the first chunk job for a
@@ -483,6 +493,11 @@ class Manager:
             chunk = cfg.copy_chunk_size
             n = max(1, math.ceil(size / chunk))
             done_ranges = self._restart_ranges(dst) if cfg.restart else set()
+            jranges = (
+                self.journal.chunk_ranges(dst)
+                if cfg.restart and self.journal is not None
+                else set()
+            )
             if done_ranges:
                 self.created_dsts.add(dst)
             queued = 0
@@ -491,6 +506,9 @@ class Manager:
                 length = min(chunk, size - off)
                 if (off, length) in done_ranges:
                     self.stats.bytes_skipped += length
+                    if (off, length) in jranges:
+                        self.stats.journal_chunks_skipped += 1
+                        self.stats.journal_bytes_skipped += length
                     continue
                 self._enqueue_chunk_job(
                     CopyJob(chunk_of=(src, dst, size), offset=off, length=length),
@@ -508,8 +526,13 @@ class Manager:
         try:
             dnode = self.ctx.dst_fs.lookup(dst)
         except PathError:
+            # Journalled ranges are only trusted while the destination they
+            # were applied to still exists; a vanished dst restarts cold.
             return set()
-        return set(map(tuple, dnode.xattrs.get("__chunks_done__", [])))
+        ranges = set(map(tuple, dnode.xattrs.get("__chunks_done__", [])))
+        if self.journal is not None:
+            ranges |= self.journal.chunk_ranges(dst)
+        return ranges
 
     def _plan_fuse_restore_or_copy(self, spec: FileSpec, dst: str) -> None:
         """Archive-side fuse file: treat each chunk as an independent
@@ -681,6 +704,10 @@ class Manager:
             if rng not in distinct:
                 ranges.append(rng)
                 distinct.add(rng)
+                if self.journal is not None:
+                    self.journal.record_chunk(
+                        dst, res.offset, res.length, total=total, src=src
+                    )
             covered = sum(l for _, l in distinct)
             if before < total <= covered:
                 self.stats.files_copied += 1
@@ -690,8 +717,13 @@ class Manager:
                     self.ctx.dst_fs.set_token(dst, token)
                 except PathError:
                     pass
+                if self.journal is not None:
+                    self.journal.record_file(src, dst, total)
         else:
             self.stats.files_copied += res.files_done
+            if self.journal is not None:
+                for s, d, n in res.done_specs:
+                    self.journal.record_file(s, d, n)
 
     def _recover_chunk_failure(self, res: CopyResult) -> None:
         """A chunk (or fuse-chunk) CopyJob died: retry it, or give up and

@@ -155,6 +155,9 @@ class CopyResult:
     created: bool = False
     failed: tuple[str, ...] = ()
     token_src: Optional[str] = None
+    #: per-succeeded-file (src, dst, nbytes) specs for small-file batches
+    #: — the Manager journals these so a resumed job can skip them
+    done_specs: tuple[tuple[str, str, int], ...] = ()
     #: per-failed-file (src, dst, nbytes) specs, parallel to ``failures``
     #: — lets the Manager rebuild a retry batch
     failed_specs: tuple[tuple[str, str, int], ...] = ()

@@ -182,6 +182,7 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
         # Batch of whole small files.
         files_done = 0
         nbytes = 0
+        done_specs = []
         failed = []
         failed_specs = []
         failures = []
@@ -196,6 +197,7 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
                 dst_fs.set_token(d, token)
                 files_done += 1
                 nbytes += n
+                done_specs.append((s, d, n))
             except (PathError, SimulationError) as exc:
                 failed.append(s)
                 failed_specs.append((s, d, n))
@@ -208,6 +210,7 @@ def _do_copy(env, node, cfg, ctx, job: CopyJob):
             failed_specs=tuple(failed_specs),
             failures=tuple(failures),
             job=job,
+            done_specs=tuple(done_specs),
         )
 
     s, d, total = job.chunk_of
@@ -293,6 +296,9 @@ def _do_packed_copy(env, node, cfg, ctx, job: CopyJob):
         failed_specs=tuple(failed_specs),
         failures=tuple(failures),
         job=job,
+        done_specs=tuple(
+            spec for spec in job.files if spec[0] not in set(failed)
+        ),
     )
 
 

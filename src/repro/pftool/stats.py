@@ -48,6 +48,10 @@ _COUNTERS = (
     "tape_volumes_touched",
     "chunks_copied",
     "fuse_files",
+    # restart-from-journal accounting: chunk ranges a resumed job skipped
+    # because the JobJournal recorded them complete before the crash
+    "journal_chunks_skipped",
+    "journal_bytes_skipped",
 )
 
 #: registry-backed time gauges
@@ -131,6 +135,8 @@ class JobStats:
             "tape_volumes_touched": self.tape_volumes_touched,
             "chunks_copied": self.chunks_copied,
             "fuse_files": self.fuse_files,
+            "journal_chunks_skipped": self.journal_chunks_skipped,
+            "journal_bytes_skipped": self.journal_bytes_skipped,
             "aborted": self.aborted,
             "abort_reason": self.abort_reason,
             "retries_by_class": dict(self.retries_by_class),
@@ -159,6 +165,11 @@ class JobStats:
             lines.append(
                 f"  compare: {self.files_compared} files, "
                 f"{self.compare_mismatches} mismatches"
+            )
+        if self.journal_chunks_skipped:
+            lines.append(
+                f"  resume: {self.journal_chunks_skipped} chunks / "
+                f"{self.journal_bytes_skipped / 1e6:.1f} MB from journal"
             )
         if self.retries_by_class:
             by_class = " ".join(

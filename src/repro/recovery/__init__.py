@@ -1,0 +1,37 @@
+"""Crash consistency: the durable job journal, recovery, chaos testing.
+
+The paper's archive is built around restartability (chunked transfers,
+§4.1.1) and delete atomicity across GPFS and TSM (the synchronous
+deleter, §4.2.6).  This package supplies the machinery that makes those
+properties survive an actual *crash* rather than a polite error:
+
+:class:`~repro.recovery.journal.JobJournal`
+    Append-only journal of chunk/file completion records, two-phase
+    delete intents and HSM migration leases, with a JSON codec
+    (see :func:`repro.workloads.persistence.save_journal`).
+:class:`~repro.recovery.agent.RecoveryAgent`
+    Replays dangling delete intents and adopts orphaned migration
+    batches after a crash, using *targeted* per-file lookups instead of
+    the O(all files) reconcile walk.
+:mod:`repro.recovery.chaos`
+    ``python -m repro.recovery.chaos`` — the chaos-restart harness: run
+    a seeded workload, kill components at trace-derived instants,
+    recover, and assert end-state invariants.
+"""
+
+from repro.recovery.agent import RecoveryAgent, RecoveryReport
+from repro.recovery.journal import (
+    DeleteIntent,
+    JobJournal,
+    JournalRecord,
+    MigrationLease,
+)
+
+__all__ = [
+    "DeleteIntent",
+    "JobJournal",
+    "JournalRecord",
+    "MigrationLease",
+    "RecoveryAgent",
+    "RecoveryReport",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.recovery`` — alias for the chaos harness CLI."""
+
+import sys
+
+from repro.recovery.chaos import main
+
+if __name__ == "__main__":
+    sys.exit(main())

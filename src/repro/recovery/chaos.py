@@ -1,0 +1,410 @@
+"""Chaos-restart harness: crash components mid-workload, recover, verify.
+
+``python -m repro.recovery.chaos`` runs a seeded four-phase workload
+(archive -> migrate -> delete -> retrieve) against a small site twice:
+
+1. an uncrashed **baseline**, traced, which yields the oracle end state
+   (file sets, sizes) and the per-phase time windows from which crash
+   instants are derived;
+2. one **crashed run per crash point**: the same workload with a
+   :class:`~repro.faults.FaultPlan` crash armed at a seeded instant
+   inside the target phase's baseline window, killing the PFTool
+   Manager, one Worker rank, the synchronous deleter mid-two-phase, or
+   the migrator mid-batch — followed by
+   :meth:`~repro.archive.system.ParallelArchiveSystem.recover` and a
+   journal resume/retry of the interrupted phase.
+
+Every crashed run must then satisfy the end-state invariants:
+
+* the live file sets under ``/arch`` and ``/back`` match the baseline
+  (no lost files), with matching sizes and source content tokens;
+* deleted files are gone, the trashcan is empty, and no delete intent
+  or migration lease dangles in the site journal;
+* **zero orphaned TSM objects** (every active tape object is referenced
+  by a live inode);
+* trace causality holds: ``copy:chunk`` spans union-cover every chunked
+  destination (duplicated bytes bounded by one in-flight chunk per
+  killed worker), and stores precede recalls per volume.
+
+Exit status 1 if any crash point fails (or its crash never fired).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.faults import CrashFault, FaultPlan
+from repro.pftool import PftoolConfig
+from repro.recovery.journal import JobJournal
+from repro.sim import Environment, RandomStreams
+from repro.tapesim import TapeSpec
+from repro.trace import tracing
+from repro.trace.assertions import TraceAssertions
+
+__all__ = ["ChaosResult", "DEFAULT_POINTS", "main", "run_chaos"]
+
+MB = 1_000_000
+
+FAST_SPEC = TapeSpec(
+    native_rate=120e6, load_time=5.0, unload_time=5.0, rewind_full=20.0,
+    seek_base=0.5, locate_rate=10e9, label_verify=2.0, backhitch=1.0,
+    capacity=800 * 1000 * MB,
+)
+
+#: chunked-copy geometry: each large file is LARGE_CHUNKS chunks
+CHUNK = 4 * MB
+LARGE_CHUNKS = 20
+LARGE = LARGE_CHUNKS * CHUNK
+
+#: (phase, target) rotation; ``--crashes N`` takes a prefix
+DEFAULT_POINTS = [
+    ("archive", "manager"),
+    ("archive", "worker"),
+    ("delete", "deleter"),
+    ("migrate", "migrator"),
+    ("retrieve", "manager"),
+    ("retrieve", "worker"),
+]
+
+PHASES = ("archive", "migrate", "delete", "retrieve")
+
+
+def _layout(seed: int) -> dict[str, int]:
+    rng = RandomStreams(seed).stream("chaos.layout")
+    files = {
+        f"/data/small/f{i:02d}": int(rng.integers(2 * MB, 8 * MB))
+        for i in range(12)
+    }
+    for i in range(2):
+        files[f"/data/large/g{i}"] = LARGE
+    return files
+
+
+#: archived files the delete phase trashes (relative to the roots)
+DELETED_RELS = [f"small/f{i:02d}" for i in range(4)]
+
+
+def _site(env: Environment) -> ParallelArchiveSystem:
+    return ParallelArchiveSystem(env, ArchiveParams(
+        n_fta=4, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=16,
+        tape_spec=FAST_SPEC, metadata_op_time=0.0002,
+    ))
+
+
+def _cfg() -> PftoolConfig:
+    return PftoolConfig(
+        num_workers=4, num_readdir=1, num_tapeprocs=2,
+        stat_batch=8, copy_batch=4,
+        chunk_threshold=4 * CHUNK, copy_chunk_size=CHUNK,
+        watchdog_interval=30.0, stall_timeout=240.0,
+    )
+
+
+def _seed_scratch(env: Environment, system: ParallelArchiveSystem,
+                  layout: dict[str, int]) -> None:
+    def go():
+        for path, size in sorted(layout.items()):
+            parent = path.rsplit("/", 1)[0] or "/"
+            system.scratch_fs.mkdir(parent, parents=True)
+            yield system.scratch_fs.write_file("scratch", path, size)
+
+    env.run(env.process(go()))
+
+
+def _files_under(fs, root: str) -> dict[str, object]:
+    """rel path -> inode for live files under *root* (trash excluded)."""
+    prefix = root.rstrip("/") + "/"
+    return {
+        path[len(prefix):]: inode
+        for path, inode in fs.walk("/")
+        if inode.is_file and path.startswith(prefix)
+    }
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one workload run leaves behind."""
+
+    system: ParallelArchiveSystem
+    tracer: object
+    #: phase -> (t_start, t_end) wall-clock window
+    windows: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: stats of the phase that was crashed + resumed (copy phases only)
+    resumed_stats: object = None
+    injector: object = None
+
+
+def _run_scenario(
+    seed: int,
+    crash_phase: Optional[str] = None,
+    crash_target: Optional[str] = None,
+    crash_at: Optional[float] = None,
+) -> ScenarioOutcome:
+    """Run the four-phase workload, optionally crashing one phase."""
+    with tracing() as tracer:
+        env = Environment()
+        system = _site(env)
+        _seed_scratch(env, system, _layout(seed))
+        cfg = _cfg()
+        out = ScenarioOutcome(system=system, tracer=tracer)
+
+        injector = None
+        current_job: dict = {"job": None}
+        if crash_phase is not None:
+            plan = FaultPlan(seed).crash(crash_at, crash_target)
+            injector = system.inject_faults(plan)
+            injector.register_crash_target(
+                "manager", lambda c: current_job["job"].crash(c)
+            )
+            injector.register_crash_target(
+                "worker",
+                lambda c: current_job["job"].crash_rank(
+                    current_job["job"].worker_ranks[0], c
+                ),
+            )
+            injector.register_crash_target("deleter", system.deleter.crash)
+            injector.register_crash_target("migrator", system.migrator.crash)
+            out.injector = injector
+
+        def copy_phase(phase: str, launch) -> None:
+            t0 = env.now
+            journal = JobJournal(env)
+            job = launch(journal)
+            current_job["job"] = job
+            crashed = False
+            try:
+                stats = env.run(job.done)
+                crashed = stats.aborted
+            except CrashFault:
+                crashed = True
+            if crashed:
+                env.run()  # drain torn I/O
+                env.run(system.recover())
+                rjob = system.resume_job(journal, cfg)
+                current_job["job"] = rjob
+                out.resumed_stats = env.run(rjob.done)
+            current_job["job"] = None
+            out.windows[phase] = (t0, env.now)
+
+        # -- phase 1: archive scratch -> archive GPFS ------------------
+        copy_phase("archive", lambda j: system.archive(
+            "/data", "/arch", cfg, journal=j))
+
+        # -- phase 2: migrate the archive to tape ----------------------
+        t0 = env.now
+        ev = system.migrate_to_tape()
+        if crash_phase == "migrate":
+            env.run()  # quiesce: the round may have been killed mid-batch
+            env.run(system.recover())  # adopt server-side-completed stores
+            env.run(system.migrate_to_tape())  # remigrate what recovery left
+        else:
+            env.run(ev)
+        out.windows["migrate"] = (t0, env.now)
+
+        # -- phase 3: user deletes + two-phase sweep -------------------
+        t0 = env.now
+        for rel in DELETED_RELS:
+            system.user_delete(f"/arch/{rel}")
+        ev = system.sweep_trash()
+        if crash_phase == "delete":
+            env.run()  # the sweep batch may have been killed mid-intent
+            env.run(system.recover())  # replay dangling intents
+            env.run(system.sweep_trash())  # entries the batch never reached
+        else:
+            env.run(ev)
+        out.windows["delete"] = (t0, env.now)
+
+        # -- phase 4: retrieve the survivors back to scratch -----------
+        copy_phase("retrieve", lambda j: system.retrieve(
+            "/arch", "/back", cfg, journal=j))
+
+        env.run()  # let exporters / recall daemons go idle
+    return out
+
+
+def _oracle(baseline: ScenarioOutcome) -> dict:
+    system = baseline.system
+    return {
+        "arch": {
+            rel: inode.size
+            for rel, inode in _files_under(system.archive_fs, "/arch").items()
+        },
+        "back": {
+            rel: inode.size
+            for rel, inode in _files_under(system.scratch_fs, "/back").items()
+        },
+    }
+
+
+def _verify(out: ScenarioOutcome, oracle: dict, crash_phase: str,
+            crash_target: str) -> list[str]:
+    """End-state invariants for one crashed run; returns failure strings."""
+    failures: list[str] = []
+    system = out.system
+
+    if out.injector is not None:
+        if out.injector.injected.get("crash", 0) != 1:
+            failures.append(
+                f"crash never fired (misses={out.injector.crash_misses})"
+            )
+
+    # -- no lost files, sizes + content intact -------------------------
+    src = _files_under(system.scratch_fs, "/data")
+    for root, fs in (("arch", system.archive_fs),
+                     ("back", system.scratch_fs)):
+        live = _files_under(fs, f"/{root}")
+        want = oracle[root]
+        if set(live) != set(want):
+            lost = sorted(set(want) - set(live))
+            extra = sorted(set(live) - set(want))
+            failures.append(f"/{root} file set: lost={lost} extra={extra}")
+            continue
+        for rel, inode in live.items():
+            if inode.size != want[rel]:
+                failures.append(
+                    f"/{root}/{rel}: size {inode.size} != {want[rel]}"
+                )
+            if rel in src and inode.content_token != src[rel].content_token:
+                failures.append(f"/{root}/{rel}: content differs from source")
+
+    # -- deletes finished: nothing dangling, trashcan drained ----------
+    for rel in DELETED_RELS:
+        if rel in _files_under(system.archive_fs, "/arch"):
+            failures.append(f"deleted file /arch/{rel} still present")
+    if len(system.trashcan):
+        failures.append(f"trashcan not empty: {len(system.trashcan)} entries")
+    dangling = system.journal.dangling_deletes()
+    if dangling:
+        failures.append(f"{len(dangling)} delete intents left dangling")
+    leases = system.journal.dangling_leases()
+    if leases:
+        failures.append(f"{len(leases)} migration leases left dangling")
+
+    # -- zero orphaned TSM objects -------------------------------------
+    live_oids = {
+        inode.tsm_object_id
+        for _path, inode in system.archive_fs.walk("/")
+        if inode.is_file and inode.tsm_object_id is not None
+    }
+    orphans = [
+        row["object_id"] for row in system.tsm.export_rows()
+        if row["filespace"] == system.params.filespace
+        and row["object_id"] not in live_oids
+    ]
+    if orphans:
+        failures.append(f"orphaned TSM objects: {sorted(orphans)}")
+
+    # -- trace causality -----------------------------------------------
+    ta = TraceAssertions(out.tracer)
+    try:
+        dup = ta.covers_union("copy:chunk", LARGE, per="args:dst")
+    except AssertionError as exc:
+        failures.append(f"chunk coverage: {exc}")
+    else:
+        expected = {f"/arch/large/g{i}" for i in range(2)}
+        expected |= {f"/back/large/g{i}" for i in range(2)}
+        if set(dup) != expected:
+            failures.append(
+                f"chunked dsts {sorted(dup)} != expected {sorted(expected)}"
+            )
+        # Re-copy bound: only in-flight chunks at the kill are copied
+        # twice — one per killed worker (all workers for a manager crash).
+        killed = {"manager": _cfg().num_workers, "worker": 1}.get(
+            crash_target, 0
+        ) if crash_phase in ("archive", "retrieve") else 0
+        bound = killed * CHUNK
+        if sum(dup.values()) > bound:
+            failures.append(
+                f"re-copied {sum(dup.values())} chunk bytes, bound {bound}"
+            )
+    try:
+        if ta.spans("tsm:recall"):
+            ta.happens_before("tsm:store", "tsm:recall", per="args:volume")
+    except AssertionError as exc:
+        failures.append(f"store-before-recall: {exc}")
+    return failures
+
+
+@dataclass
+class ChaosResult:
+    """One crash point's outcome."""
+
+    phase: str
+    target: str
+    at: float
+    failures: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase, "target": self.target,
+            "at": round(self.at, 3), "ok": self.ok,
+            "failures": self.failures,
+        }
+
+
+def run_chaos(seed: int = 0, crashes: Optional[int] = None,
+              quiet: bool = False) -> list[ChaosResult]:
+    """Baseline + one crashed run per crash point; returns the results."""
+    points = DEFAULT_POINTS[:crashes] if crashes else DEFAULT_POINTS
+    baseline = _run_scenario(seed)
+    oracle = _oracle(baseline)
+    frac_rng = RandomStreams(seed).stream("chaos.instants")
+    results = []
+    for i, (phase, target) in enumerate(points):
+        t0, t1 = baseline.windows[phase]
+        # seeded instant inside the phase's baseline window, away from
+        # the edges so small cross-run timing drift cannot miss the phase
+        at = t0 + (0.2 + 0.5 * frac_rng.random()) * (t1 - t0)
+        out = _run_scenario(seed, phase, target, at)
+        failures = _verify(out, oracle, phase, target)
+        results.append(ChaosResult(phase, target, at, failures))
+        if not quiet:
+            mark = "ok" if not failures else "FAIL"
+            print(f"[{i + 1}/{len(points)}] crash {target} during {phase} "
+                  f"at t={at:.1f}: {mark}")
+            for f in failures:
+                print(f"    - {f}")
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recovery.chaos",
+        description="crash-restart chaos harness for the archive system",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload + crash-instant seed (default 0)")
+    parser.add_argument("--crashes", type=int, default=None,
+                        help="run only the first N crash points "
+                             f"(default: all {len(DEFAULT_POINTS)})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    args = parser.parse_args(argv)
+    results = run_chaos(args.seed, args.crashes,
+                        quiet=args.quiet or args.json)
+    ok = all(r.ok for r in results)
+    if args.json:
+        print(json.dumps({
+            "seed": args.seed,
+            "points": [r.to_dict() for r in results],
+            "ok": ok,
+        }, indent=1))
+    elif not args.quiet:
+        n_bad = sum(not r.ok for r in results)
+        print(f"{len(results)} crash points, {n_bad} failing")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

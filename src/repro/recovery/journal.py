@@ -1,0 +1,299 @@
+"""The durable job journal: write-ahead intents and completion records.
+
+PFTool's chunked transfers are restartable *only* if something remembers
+which chunks landed; the synchronous deleter is crash-safe *only* if the
+GPFS unlink and the TSM delete are bracketed by a durable intent; an HSM
+migration batch killed between the TSM store and the stub punch leaves
+tape objects nothing points at.  :class:`JobJournal` is the single
+append-only record all three write — the simulation analogue of the
+journal file a production mover fsyncs next to its restart state.
+
+Record taxonomy
+---------------
+==================  ==================================================
+type                written
+==================  ==================================================
+``job_open``        once, when a PFTool job binds the journal
+``chunk``           after a chunk range is applied to the destination
+``file``            after a whole (unchunked) file is copied
+``delete_intent``   **before** the deleter touches either side
+``delete_fs_done``  after the GPFS-side unlink of that intent
+``delete_done``     after the TSM-side delete of that intent
+``lease``           **before** an HSM migration batch stores to tape
+``lease_done``      after the batch's receipts (stub/premigrate) apply
+==================  ==================================================
+
+Copies are idempotent, so chunk/file records are completion records:
+losing the tail of the journal only costs re-copied bytes.  Deletes and
+migrations mutate durable archive state, so their records are true
+write-ahead intents: a dangling ``delete_intent`` or ``lease`` names
+exactly the files the :class:`~repro.recovery.agent.RecoveryAgent` must
+reconcile — the *targeted* alternative to the O(all files) walk of
+:class:`~repro.hsm.reconcile.ReconcileAgent`.
+
+The journal is an in-memory store with a ``persistence.py``-style JSON
+codec (:meth:`JobJournal.to_payload` /
+:func:`repro.workloads.persistence.save_journal`); :meth:`truncate`
+yields the journal as it would read after a crash that lost every record
+past a prefix, which is what the hypothesis replay tests iterate over.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "DeleteIntent",
+    "JobJournal",
+    "JournalRecord",
+    "MigrationLease",
+]
+
+JOURNAL_FORMAT = "repro-job-journal-v1"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One appended record: a sequence number, a type, and its payload."""
+
+    seq: int
+    type: str
+    data: dict
+
+
+@dataclass(frozen=True)
+class DeleteIntent:
+    """A two-phase delete's durable state (see §4.2.6 crash window)."""
+
+    intent_id: int
+    trash_path: str
+    original_path: str
+    tsm_object_id: Optional[int]
+    #: 'intent' (nothing applied yet), 'fs_done' (GPFS side gone) or 'done'
+    state: str
+
+
+@dataclass(frozen=True)
+class MigrationLease:
+    """One HSM migration batch's durable lease."""
+
+    lease_id: int
+    node: str
+    paths: tuple[str, ...]
+    punch: bool
+    state: str  # 'leased' | 'done'
+
+
+class JobJournal:
+    """Append-only journal with replay views.
+
+    Parameters
+    ----------
+    env:
+        Optional simulation environment; when provided and tracing is
+        active, each append emits a ``journal:append`` instant.
+    """
+
+    def __init__(self, env=None) -> None:
+        self.env = env
+        self.records: list[JournalRecord] = []
+        #: test hook invoked after each append (lets the chaos/property
+        #: tests crash a run at an exact journal prefix)
+        self.after_append: Optional[Callable[[JournalRecord], None]] = None
+        self._seq = itertools.count(1)
+        self._intent_ids = itertools.count(1)
+        self._lease_ids = itertools.count(1)
+        # replay views, kept incrementally by _apply()
+        self._job_meta: Optional[dict] = None
+        self._chunks: dict[str, set[tuple[int, int]]] = {}
+        self._files: dict[str, int] = {}
+        self._intents: dict[int, DeleteIntent] = {}
+        self._leases: dict[int, MigrationLease] = {}
+
+    # -- writer API ----------------------------------------------------
+    def append(self, type: str, **data: Any) -> JournalRecord:
+        rec = JournalRecord(next(self._seq), type, data)
+        self.records.append(rec)
+        self._apply(rec)
+        if self.env is not None:
+            tr = self.env.trace
+            if tr.enabled:
+                tr.instant("journal:append", tid="journal",
+                           args={"type": type, "seq": rec.seq})
+        if self.after_append is not None:
+            self.after_append(rec)
+        return rec
+
+    def open_job(self, op: str, src: str, dst: str,
+                 src_fs: str = "", dst_fs: str = "") -> JournalRecord:
+        """Record the job identity a later :meth:`resume` needs."""
+        return self.append("job_open", op=op, src=src, dst=dst,
+                           src_fs=src_fs, dst_fs=dst_fs)
+
+    def record_chunk(self, dst: str, offset: int, length: int,
+                     total: int, src: str = "") -> JournalRecord:
+        return self.append("chunk", dst=dst, offset=offset, length=length,
+                           total=total, src=src)
+
+    def record_file(self, src: str, dst: str, nbytes: int) -> JournalRecord:
+        return self.append("file", src=src, dst=dst, nbytes=nbytes)
+
+    def delete_intent(self, trash_path: str, original_path: str,
+                      tsm_object_id: Optional[int]) -> int:
+        intent_id = next(self._intent_ids)
+        self.append("delete_intent", intent_id=intent_id,
+                    trash_path=trash_path, original_path=original_path,
+                    tsm_object_id=tsm_object_id)
+        return intent_id
+
+    def delete_fs_done(self, intent_id: int) -> None:
+        self.append("delete_fs_done", intent_id=intent_id)
+
+    def delete_done(self, intent_id: int) -> None:
+        self.append("delete_done", intent_id=intent_id)
+
+    def migration_lease(self, node: str, paths: list[str],
+                        punch: bool) -> int:
+        lease_id = next(self._lease_ids)
+        self.append("lease", lease_id=lease_id, node=node,
+                    paths=list(paths), punch=bool(punch))
+        return lease_id
+
+    def migration_done(self, lease_id: int) -> None:
+        self.append("lease_done", lease_id=lease_id)
+
+    # -- replay --------------------------------------------------------
+    def _apply(self, rec: JournalRecord) -> None:
+        d = rec.data
+        if rec.type == "job_open":
+            self._job_meta = dict(d)
+        elif rec.type == "chunk":
+            self._chunks.setdefault(d["dst"], set()).add(
+                (d["offset"], d["length"])
+            )
+        elif rec.type == "file":
+            self._files[d["dst"]] = d["nbytes"]
+        elif rec.type == "delete_intent":
+            self._intents[d["intent_id"]] = DeleteIntent(
+                d["intent_id"], d["trash_path"], d["original_path"],
+                d["tsm_object_id"], "intent",
+            )
+        elif rec.type == "delete_fs_done":
+            cur = self._intents[d["intent_id"]]
+            self._intents[d["intent_id"]] = DeleteIntent(
+                cur.intent_id, cur.trash_path, cur.original_path,
+                cur.tsm_object_id, "fs_done",
+            )
+        elif rec.type == "delete_done":
+            cur = self._intents[d["intent_id"]]
+            self._intents[d["intent_id"]] = DeleteIntent(
+                cur.intent_id, cur.trash_path, cur.original_path,
+                cur.tsm_object_id, "done",
+            )
+        elif rec.type == "lease":
+            self._leases[d["lease_id"]] = MigrationLease(
+                d["lease_id"], d["node"], tuple(d["paths"]),
+                d["punch"], "leased",
+            )
+        elif rec.type == "lease_done":
+            cur = self._leases[d["lease_id"]]
+            self._leases[d["lease_id"]] = MigrationLease(
+                cur.lease_id, cur.node, cur.paths, cur.punch, "done",
+            )
+        else:
+            raise ValueError(f"unknown journal record type {rec.type!r}")
+
+    # -- views ---------------------------------------------------------
+    @property
+    def job_meta(self) -> Optional[dict]:
+        """The ``job_open`` payload, or None if no job bound this journal."""
+        return self._job_meta
+
+    def chunk_ranges(self, dst: str) -> set[tuple[int, int]]:
+        """(offset, length) ranges journalled complete for *dst*."""
+        return set(self._chunks.get(dst, ()))
+
+    def file_done(self, dst: str, nbytes: int) -> bool:
+        """True if a whole-file record for *dst* with this size exists."""
+        return self._files.get(dst) == nbytes
+
+    def completed_files(self) -> dict[str, int]:
+        return dict(self._files)
+
+    def bytes_recorded(self) -> int:
+        """Total payload bytes covered by chunk + file records."""
+        chunked = sum(
+            length for ranges in self._chunks.values()
+            for _off, length in ranges
+        )
+        return chunked + sum(self._files.values())
+
+    def dangling_deletes(self) -> list[DeleteIntent]:
+        """Delete intents with no ``delete_done``, in intent order."""
+        return [
+            i for _id, i in sorted(self._intents.items())
+            if i.state != "done"
+        ]
+
+    def dangling_leases(self) -> list[MigrationLease]:
+        """Migration leases with no ``lease_done``, in lease order."""
+        return [
+            l for _id, l in sorted(self._leases.items())
+            if l.state != "done"
+        ]
+
+    def truncate(self, n: int) -> "JobJournal":
+        """The journal as read back after a crash that kept only the
+        first *n* records — a fresh instance; self is untouched."""
+        out = JobJournal(env=self.env)
+        for rec in self.records[:n]:
+            out.records.append(rec)
+            out._apply(rec)
+        out._reset_counters()
+        return out
+
+    def _reset_counters(self) -> None:
+        """Re-seed id counters past everything replayed into the views."""
+        last_seq = self.records[-1].seq if self.records else 0
+        self._seq = itertools.count(last_seq + 1)
+        self._intent_ids = itertools.count(
+            max(self._intents, default=0) + 1
+        )
+        self._lease_ids = itertools.count(max(self._leases, default=0) + 1)
+
+    # -- codec ---------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "format": JOURNAL_FORMAT,
+            "records": [
+                {"seq": r.seq, "type": r.type, "data": r.data}
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, env=None) -> "JobJournal":
+        if payload.get("format") != JOURNAL_FORMAT:
+            raise ValueError(
+                f"not a job journal (format={payload.get('format')!r})"
+            )
+        out = cls(env=env)
+        for raw in payload["records"]:
+            rec = JournalRecord(raw["seq"], raw["type"], dict(raw["data"]))
+            out.records.append(rec)
+            out._apply(rec)
+        out._reset_counters()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<JobJournal records={len(self.records)} "
+            f"chunks={sum(len(v) for v in self._chunks.values())} "
+            f"files={len(self._files)} intents={len(self._intents)} "
+            f"leases={len(self._leases)}>"
+        )

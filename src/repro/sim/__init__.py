@@ -34,6 +34,7 @@ from repro.sim.kernel import (
     Event,
     Interrupt,
     Process,
+    ProcessKilled,
     SimulationError,
     Timeout,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "PriorityResource",
     "PriorityStore",
     "Process",
+    "ProcessKilled",
     "RandomStreams",
     "Resource",
     "SimulationError",

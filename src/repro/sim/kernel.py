@@ -28,6 +28,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "ProcessKilled",
     "SimulationError",
     "Timeout",
 ]
@@ -39,6 +40,10 @@ NORMAL = 1
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (double-trigger, negative delay...)."""
+
+
+class ProcessKilled(SimulationError):
+    """Raised in waiters of a process torn down by :meth:`Process.kill`."""
 
 
 class Interrupt(Exception):
@@ -302,6 +307,47 @@ class Process(Event):
         ev._value = Interrupt(cause)
         ev.callbacks.append(self._resume)
         self.env._schedule(ev, URGENT)
+
+    def kill(self, cause: Any = None) -> None:
+        """Tear the process down *without* running its handlers (crash model).
+
+        Unlike :meth:`interrupt`, which throws at the yield point so the
+        process can recover, ``kill`` models a component dying mid-flight:
+        the generator is closed (only ``finally`` blocks run), the event it
+        was waiting on is abandoned — cancellable targets such as a pending
+        mailbox receive are withdrawn so they cannot swallow a message nobody
+        will read — and any child :class:`Process` it was waiting on is killed
+        in cascade.  Waiters of a killed process see it *fail* with *cause*
+        (wrapped in :class:`ProcessKilled` when it is not an exception).
+
+        Killing an already-terminated process is a no-op, so crash plans may
+        fire after the component finished on its own.
+        """
+        if self._value is not PENDING:
+            return
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to kill itself")
+        target = self._target
+        self._target = None
+        if isinstance(cause, BaseException):
+            exc: BaseException = cause
+        else:
+            exc = ProcessKilled(f"process {self.name!r} killed")
+        self._ok = False
+        self._value = exc
+        self._generator.close()
+        self.env._schedule(self, NORMAL)
+        if target is not None:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            cancel = getattr(target, "cancel", None)
+            if cancel is not None and not target.triggered:
+                cancel()
+            if isinstance(target, Process) and target.is_alive:
+                target.kill(exc)
 
     def _resume(self, event: Event) -> None:
         if self._value is not PENDING:

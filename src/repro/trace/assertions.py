@@ -195,3 +195,57 @@ class TraceAssertions:
                 f"{name!r} coverage (group {k!r}): ranges end at {pos}, "
                 f"expected {total}"
             )
+
+    def covers_union(self, name: str, total: int, per: Optional[str] = None,
+                     offset_field: str = "offset",
+                     length_field: str = "length") -> dict:
+        """Spans' ranges *union-cover* ``[0, total)``; duplicates allowed.
+
+        The crash-restart variant of :meth:`covers`: a killed worker's
+        chunk may be re-copied after resume, so ranges can repeat — but
+        there must be no gap.  Returns ``{group: duplicated_bytes}`` so
+        callers can bound the re-copy overhead (e.g. at most one chunk
+        per crashed worker beyond the journal frontier).
+        """
+        key = _group_key(per)
+        groups: dict[object, list[tuple[int, int]]] = {}
+        for ev in self.spans(name):
+            args = ev.get("args", {})
+            off, ln = args.get(offset_field), args.get(length_field)
+            assert off is not None and ln is not None, (
+                f"{name!r} span at t={ev['ts']} lacks "
+                f"{offset_field!r}/{length_field!r} args"
+            )
+            groups.setdefault(key(ev), []).append((off, ln))
+        assert groups, f"no spans named {name!r} in trace"
+        dup_bytes: dict[object, int] = {}
+        for k, ranges in groups.items():
+            ranges.sort()
+            pos = 0
+            dup = 0
+            for off, ln in ranges:
+                assert off <= pos, (
+                    f"{name!r} union coverage (group {k!r}): gap [{pos}, {off})"
+                )
+                end = off + ln
+                dup += min(end, pos) - off  # overlap with what's covered
+                pos = max(pos, end)
+            assert pos >= total, (
+                f"{name!r} union coverage (group {k!r}): ranges end at "
+                f"{pos}, expected at least {total}"
+            )
+            dup_bytes[k] = dup
+        return dup_bytes
+
+    def sum_args(self, name: str, field: str,
+                 per: Optional[str] = None) -> dict:
+        """Total of ``args[field]`` over *name* spans, per group."""
+        key = _group_key(per)
+        totals: dict[object, float] = {}
+        for ev in self.spans(name):
+            val = ev.get("args", {}).get(field)
+            if val is None:
+                continue
+            k = key(ev)
+            totals[k] = totals.get(k, 0) + val
+        return totals

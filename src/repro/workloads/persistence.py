@@ -15,7 +15,14 @@ from typing import Iterable, Sequence, Union
 
 from repro.workloads.openscience import JobSpec, OpenScienceTrace
 
-__all__ = ["load_job_records", "load_trace", "save_job_records", "save_trace"]
+__all__ = [
+    "load_job_records",
+    "load_journal",
+    "load_trace",
+    "save_job_records",
+    "save_journal",
+    "save_trace",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -77,3 +84,18 @@ def load_job_records(path: PathLike) -> list[dict]:
             f"{path}: not a job-records file (format={header.get('format')!r})"
         )
     return [json.loads(line) for line in raw[1:] if line.strip()]
+
+
+def save_journal(journal, path: PathLike) -> pathlib.Path:
+    """Write a :class:`~repro.recovery.journal.JobJournal` as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(journal.to_payload(), indent=1))
+    return path
+
+
+def load_journal(path: PathLike, env=None):
+    """Read a journal written by :func:`save_journal`."""
+    from repro.recovery.journal import JobJournal
+
+    payload = json.loads(pathlib.Path(path).read_text())
+    return JobJournal.from_payload(payload, env=env)

@@ -308,3 +308,72 @@ def test_ra006_only_covers_engine_packages(tmp_path):
         name="repro/pftool/elsewhere.py",
     )
     assert result.findings == []
+
+
+# ---------------------------------------------------------------- RA007
+def test_ra007_flags_unjournalled_archive_mutation(tmp_path):
+    from repro.analysis.rules_recovery import JournalIntentRule
+
+    result = lint_source(
+        tmp_path,
+        "class Deleter:\n"
+        "    def delete(self, e):\n"
+        "        def _proc():\n"
+        "            yield self.fs.unlink_op(e.trash_path)\n"
+        "            ok = yield self.tsm.delete_object(e.oid)\n"
+        "        self.env.process(_proc())\n",
+        [JournalIntentRule()],
+        name="repro/archive/bad_deleter.py",
+    )
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 2
+    assert any("unlink_op" in m for m in messages)
+    assert any("delete_object" in m for m in messages)
+
+
+def test_ra007_accepts_journal_bracket(tmp_path):
+    from repro.analysis.rules_recovery import JournalIntentRule
+
+    result = lint_source(
+        tmp_path,
+        "class Deleter:\n"
+        "    def delete(self, e):\n"
+        "        def _proc():\n"
+        "            intent = self.journal.delete_intent(e.t, e.o, e.oid)\n"
+        "            yield self.fs.unlink_op(e.trash_path)\n"
+        "            ok = yield self.tsm.delete_object(e.oid)\n"
+        "            self.journal.delete_done(intent)\n"
+        "        self.env.process(_proc())\n",
+        [JournalIntentRule()],
+        name="repro/archive/good_deleter.py",
+    )
+    assert result.findings == []
+
+
+def test_ra007_journal_write_must_precede_the_mutation(tmp_path):
+    from repro.analysis.rules_recovery import JournalIntentRule
+
+    # a journal call *after* the mutator is not a write-ahead intent
+    result = lint_source(
+        tmp_path,
+        "def sweep(self, e):\n"
+        "    yield self.fs.unlink_op(e.trash_path)\n"
+        "    self.journal.delete_intent(e.t, e.o, None)\n",
+        [JournalIntentRule()],
+        name="repro/hsm/manager_ext.py",
+    )
+    assert len(result.findings) == 1
+    assert "unlink_op" in result.findings[0].message
+
+
+def test_ra007_only_covers_recovery_protocol_paths(tmp_path):
+    from repro.analysis.rules_recovery import JournalIntentRule
+
+    result = lint_source(
+        tmp_path,
+        "def walk_and_delete(self, oid):\n"
+        "    yield self.tsm.delete_object(oid)\n",
+        [JournalIntentRule()],
+        name="repro/hsm/reconcile_like.py",  # legacy walk stays exempt
+    )
+    assert result.findings == []

@@ -122,6 +122,10 @@ class InvariantMonitor:
         self.received = 0
         #: rank -> outstanding StoreGet posted by that rank's last recv
         self._pending_recv: dict[int, Any] = {}
+        #: jobs currently attached (a long-running service must see this
+        #: return to its old size after every job completes — growth here
+        #: is the monitor leaking dead jobs)
+        self._attached: list[Any] = []
         self._job: Any = None
         self._stats: Any = None
         self._manager: Any = None
@@ -136,6 +140,7 @@ class InvariantMonitor:
         self._job = job
         self._stats = job.stats
         self._env = job.env
+        self._attached.append(job)
         job.comm.monitor = self
         if self._payload_table is None:
             # lazy import: analysis must stay importable without pftool
@@ -143,6 +148,33 @@ class InvariantMonitor:
 
             self._payload_table = TAG_PAYLOADS
             self._tag_work_req = TAG_WORK_REQ
+
+    def detach(self, job: Any) -> None:
+        """Release *job* (PftoolJob arranges this on its ``done`` event).
+
+        Drops the communicator hook and, when *job* is the one currently
+        monitored, the per-job state — so a monitor reused across a
+        long-running service's job stream holds no dead jobs.  Unknown
+        jobs are ignored (detach is idempotent).
+        """
+        try:
+            self._attached.remove(job)
+        except ValueError:
+            pass
+        comm = getattr(job, "comm", None)
+        if comm is not None and getattr(comm, "monitor", None) is self:
+            comm.monitor = None
+        if self._job is job:
+            self._job = None
+            self._stats = None
+            self._manager = None
+            self._manager_process = None
+            self._pending_recv.clear()
+
+    @property
+    def attached_jobs(self) -> int:
+        """Number of jobs currently attached (leak canary for services)."""
+        return len(self._attached)
 
     def bind_manager(self, manager: Any, process: Any) -> None:
         """Record the Manager's process and wrap its deque queues
@@ -223,11 +255,15 @@ class InvariantMonitor:
                 continue  # e.g. Exit broadcast to never-spawned tape ranks
             # A worker's final WorkRequest legitimately lands after the
             # Manager stopped receiving; an Exit can strand when a rank
-            # already terminated.  Anything else is lost protocol traffic.
+            # already terminated; an operator Abort can race completion
+            # (the job finished before the cancel landed).  Anything
+            # else is lost protocol traffic.
             stranded = [
                 msg
                 for msg in store.items
-                if msg.tag != self._tag_work_req and not self._is_exit(msg)
+                if msg.tag != self._tag_work_req
+                and not self._is_exit(msg)
+                and type(msg.payload).__name__ != "Abort"
             ]
             if stranded:
                 tags = sorted({msg.tag for msg in stranded})

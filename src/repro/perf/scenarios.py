@@ -10,7 +10,10 @@ determinism guarantee.  Scenario groups:
 * ``fig10_proxy`` / ``a1_proxy`` — reduced-scale replicas of the two
   fabric-heaviest paper benchmarks, end-to-end through PFTool;
 * ``store_churn`` / ``mpisim_fanout`` — kernel queue and message-plane
-  churn (Store/FilterStore settle loops, delivery timers).
+  churn (Store/FilterStore settle loops, delivery timers);
+* ``s1_scheduler`` — the archive-as-a-service multi-tenant flood
+  (ROADMAP item 1): >1000 jobs in flight across 12 weighted tenants
+  under fair-share admission control.
 """
 
 from __future__ import annotations
@@ -366,4 +369,28 @@ def mpisim_fanout() -> ScenarioOutcome:
             "messages_sent": comm.messages_sent,
             "end_time": round(env.now, 9),
         },
+    )
+
+
+# ---------------------------------------------------------------------------
+# archive-as-a-service scenario
+# ---------------------------------------------------------------------------
+
+@scenario("s1_scheduler")
+def s1_scheduler(seed: int = 1001) -> ScenarioOutcome:
+    """Benchmark S1: the multi-tenant scheduler flood.
+
+    12 weighted tenants burst 1400 tiny archive jobs at the service;
+    admission control caps the FTA pool while stride fair-share picks
+    dispatch order, so >1000 jobs sit in the system at the peak.  The
+    headline carries the scheduler's own conservation and fairness
+    numbers alongside the usual event-count metrics.
+    """
+    from repro.scheduler.scenario import S1Params, run_s1
+
+    result = run_s1(S1Params(seed=seed))
+    return ScenarioOutcome(
+        env=result["env"],
+        headline=result["headline"],
+        fabrics=(result["system"].topology.fabric,),
     )

@@ -67,12 +67,24 @@ class PftoolJob:
         self.stats = JobStats(op=op)
         self.done: Event = env.event()
         self.journal = journal
-        if journal is not None and journal.job_meta is None:
-            journal.open_job(
-                op, src, dst or "",
-                src_fs=getattr(ctx.src_fs, "name", ""),
-                dst_fs=getattr(ctx.dst_fs, "name", ""),
-            )
+        if journal is not None:
+            if journal.job_meta is None:
+                journal.open_job(
+                    op, src, dst or "",
+                    src_fs=getattr(ctx.src_fs, "name", ""),
+                    dst_fs=getattr(ctx.dst_fs, "name", ""),
+                )
+            elif not self.cfg.restart:
+                # A used journal on a fresh job would silently inherit the
+                # previous job's meta — and its chunk/file records would
+                # dedupe work this job never did.  Only the restart path
+                # (PftoolJob.resume) may bind a journal with history.
+                meta = journal.job_meta
+                raise SimulationError(
+                    f"journal already belongs to a job ({meta['op']} "
+                    f"{meta['src']!r} -> {meta['dst']!r}); pass a fresh "
+                    "journal, or resume via PftoolJob.resume"
+                )
         self.comm = SimComm(env, self.cfg.total_ranks)
         self._manager = Manager(
             env, self.comm, self.cfg, ctx, op, src, dst, self.stats,
@@ -85,6 +97,10 @@ class PftoolJob:
         monitor = ctx.monitor if ctx.monitor is not None else default_monitor()
         if monitor is not None:
             monitor.attach(self)
+            # Long-running services reuse one monitor across thousands of
+            # jobs; detach on completion (success or crash-fail) so the
+            # monitor never accumulates dead jobs' state.
+            self.done.callbacks.append(lambda _ev: monitor.detach(self))
         self._spawn_ranks()
 
     def _spawn_ranks(self) -> None:
@@ -126,7 +142,15 @@ class PftoolJob:
         return list(range(first, first + self.cfg.num_workers))
 
     def cancel(self, reason: str = "cancelled by user") -> None:
-        """Abort the job (used by restart experiments / operators)."""
+        """Abort the job (used by restart experiments / operators).
+
+        A cancel that races completion (the Manager already broadcast
+        Exit and will never read its mailbox again) is a no-op — sending
+        the Abort anyway would strand it, which the InvariantMonitor
+        rightly flags as lost protocol traffic.
+        """
+        if self.done.triggered or self._manager.finishing:
+            return
         self.comm.send(0, 0, Abort(reason), TAG_RESULT)
 
     # -- crash model ---------------------------------------------------

@@ -4,6 +4,13 @@ Runs periodically, tracks per-node load (active PFTool ranks in our
 model, a stand-in for CPU load average), and produces the MPI machine
 list sorted ascending by load — so new jobs land on the least busy FTA
 nodes first.
+
+Load accounting is *strict*: a node name the LoadManager was never told
+about is a machine-list/topology mismatch (the operator edited one list
+but not the other), and silently dropping its counts would let the
+scheduler over-commit that node forever.  Unknown names raise
+:class:`~repro.sim.SimulationError`; a pool that legitimately grows
+registers new nodes first via :meth:`register`.
 """
 
 from __future__ import annotations
@@ -25,22 +32,54 @@ class LoadManager:
         self.nodes = list(nodes)
         self._load: dict[str, int] = {n: 0 for n in self.nodes}
 
+    def register(self, node: str) -> None:
+        """Add *node* to the pool (idempotent) — the explicit path for a
+        growing FTA pool; accounting against unregistered names raises."""
+        if node not in self._load:
+            self.nodes.append(node)
+            self._load[node] = 0
+
     def machine_list(self) -> list[str]:
         """Nodes sorted by (load, name) — the 'timely MPI machine list'."""
         return sorted(self.nodes, key=lambda n: (self._load[n], n))
 
+    def _check_known(self, nodes_used: Sequence[str]) -> None:
+        unknown = sorted({n for n in nodes_used if n not in self._load})
+        if unknown:
+            raise SimulationError(
+                f"LoadManager got unknown node(s) {unknown}; machine list "
+                f"and topology disagree (known: {sorted(self._load)}) — "
+                "register() new nodes before accounting against them"
+            )
+
     def job_started(self, nodes_used: Sequence[str]) -> None:
+        self._check_known(nodes_used)
         for n in nodes_used:
-            if n in self._load:
-                self._load[n] += 1
+            self._load[n] += 1
 
     def job_finished(self, nodes_used: Sequence[str]) -> None:
+        self._check_known(nodes_used)
         for n in nodes_used:
-            if n in self._load:
-                self._load[n] = max(0, self._load[n] - 1)
+            self._load[n] = max(0, self._load[n] - 1)
 
     def load_of(self, node: str) -> int:
-        return self._load.get(node, 0)
+        if node not in self._load:
+            raise SimulationError(
+                f"LoadManager was never told about node {node!r} "
+                f"(known: {sorted(self._load)})"
+            )
+        return self._load[node]
+
+    @property
+    def total_load(self) -> int:
+        """Sum of per-node loads (active rank-slots across the pool)."""
+        return sum(self._load.values())
+
+    def free_slots(self, slots_per_node: int) -> int:
+        """Rank-slots still available under a per-node concurrency cap."""
+        return sum(
+            max(0, slots_per_node - load) for load in self._load.values()
+        )
 
     def __repr__(self) -> str:
         return f"<LoadManager {self._load}>"

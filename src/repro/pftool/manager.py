@@ -114,6 +114,9 @@ class Manager:
         #: 'du' op: subtree -> [files, bytes]
         self.du_totals: dict[str, list[int]] = {}
         self.aborting = False
+        #: True once _finish ran: the Exit broadcast is out and nobody
+        #: reads the Manager mailbox again, so late Aborts must not land
+        self.finishing = False
         #: open "pftool:job" trace span while the job runs (if tracing)
         self._job_span = None
         # -- failure recovery -------------------------------------------
@@ -199,6 +202,7 @@ class Manager:
         self._finish()
 
     def _finish(self, error: str = "") -> None:
+        self.finishing = True
         if error:
             self.stats.aborted = True
             self.stats.abort_reason = error

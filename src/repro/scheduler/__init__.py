@@ -1,0 +1,63 @@
+"""Archive-as-a-service: the job scheduler layer (ROADMAP item 1).
+
+The paper's site ran PFTool jobs ad hoc over a shared FTA pool, with
+only the LoadManager's sorted machine list between users and an
+oversubscribed site (§4.1.2).  This package is the missing service
+layer — what CASTOR's stager is at CERN scale:
+
+=================  ====================================================
+module             provides
+=================  ====================================================
+``service``        :class:`ArchiveService` — submit / query / cancel /
+                   preempt / resume over one ParallelArchiveSystem
+``queues``         :class:`JobTicket` lifecycle + per-tenant priority
+                   queues with O(1) tombstone cancellation
+``fairshare``      :class:`FairShare` — weighted stride scheduling plus
+                   the deviation metric the S1 benchmark bounds
+``admission``      :class:`AdmissionController` — load-based admission
+                   over the FTA rank-slots and the tape-drive pool
+``scenario``       seeded multi-tenant scenarios: S1 (``run_s1``) and
+                   the cancel/preempt soak behind ``python -m
+                   repro.scheduler``
+=================  ====================================================
+
+Quickstart::
+
+    env = Environment()
+    system = ParallelArchiveSystem(env)
+    service = ArchiveService(system)
+    service.add_tenant("astro", weight=3.0)
+    ticket = service.submit("astro", "archive", "/jobs/j0", "/arc/j0")
+    env.run(service.drain())     # or env.run(ticket.done)
+"""
+
+from repro.scheduler.admission import AdmissionController, AdmissionPolicy
+from repro.scheduler.fairshare import FairShare
+from repro.scheduler.queues import (
+    ACTIVE,
+    CANCELLED,
+    COMPLETED,
+    PREEMPTED,
+    QUEUED,
+    TERMINAL_STATES,
+    JobTicket,
+    TenantQueue,
+)
+from repro.scheduler.service import ArchiveService, SchedulerConfig, Tenant
+
+__all__ = [
+    "ACTIVE",
+    "ArchiveService",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CANCELLED",
+    "COMPLETED",
+    "FairShare",
+    "JobTicket",
+    "PREEMPTED",
+    "QUEUED",
+    "SchedulerConfig",
+    "TERMINAL_STATES",
+    "Tenant",
+    "TenantQueue",
+]

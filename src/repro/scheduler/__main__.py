@@ -1,0 +1,55 @@
+"""CLI: run the scheduler scenarios from the shell.
+
+``python -m repro.scheduler`` runs benchmark S1 (the pure multi-tenant
+flood) and prints its headline; ``--soak`` runs the chaos soak
+(cancels + preempt/resume mid-run) and exits non-zero if any service
+invariant broke — the CI soak-smoke job is exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scheduler.scenario import S1Params, run_s1, run_soak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scheduler",
+        description="seeded multi-tenant archive-service scenarios",
+    )
+    parser.add_argument("--seed", type=int, default=1001)
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="number of tenants (default: 12 S1 / 10 soak)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="number of jobs (default: 1200 S1 / 300 soak)")
+    parser.add_argument("--soak", action="store_true",
+                        help="chaos soak with cancels and preempt/resume "
+                             "instead of the pure S1 flood")
+    args = parser.parse_args(argv)
+
+    if args.soak:
+        result = run_soak(
+            seed=args.seed,
+            n_tenants=args.tenants if args.tenants is not None else 10,
+            n_jobs=args.jobs if args.jobs is not None else 300,
+        )
+        print(json.dumps(result["summary"], indent=2, sort_keys=True))
+        for violation in result["violations"]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1 if result["violations"] else 0
+
+    params = S1Params(seed=args.seed)
+    if args.tenants is not None:
+        params.n_tenants = args.tenants
+    if args.jobs is not None:
+        params.n_jobs = args.jobs
+    result = run_s1(params)
+    print(json.dumps(result["headline"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

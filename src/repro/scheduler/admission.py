@@ -1,0 +1,127 @@
+"""Load-based admission control over the shared FTA and tape-drive pool.
+
+The paper's site ran PFTool jobs ad hoc: every submission immediately
+spawned MPI ranks on whatever the LoadManager's machine list said,
+so a burst of users could oversubscribe the ten FTA nodes and thrash
+the 24 drives (§4.1.2 only *sorts* the list, it never says no).  The
+:class:`AdmissionController` is the missing "no": a job is dispatched
+only while
+
+* the count of active jobs is below ``max_active_jobs``,
+* the FTA pool has a free rank-slot for every rank the job spawns
+  (``slots_per_node`` × nodes, charged through the LoadManager, which
+  also keeps per-node placement honest), and
+* the tape-drive pool can cover the job's TapeProc ranks (restore
+  direction only) after the configured operator reserve.
+
+Everything is counted, deterministic and O(tenants) per decision; the
+controller never guesses at durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pftool.loadmanager import LoadManager
+from repro.scheduler.queues import JobTicket
+from repro.sim import SimulationError
+
+__all__ = ["AdmissionController", "AdmissionPolicy"]
+
+
+@dataclass
+class AdmissionPolicy:
+    """Operator knobs for the admission controller."""
+
+    #: concurrent rank-slots per FTA node (the paper's load-average cap)
+    slots_per_node: int = 8
+    #: hard ceiling on simultaneously running PFTool jobs
+    max_active_jobs: int = 64
+    #: tape drives always kept free (operator/repair headroom)
+    drive_reserve: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slots_per_node < 1:
+            raise SimulationError("slots_per_node must be >= 1")
+        if self.max_active_jobs < 1:
+            raise SimulationError("max_active_jobs must be >= 1")
+        if self.drive_reserve < 0:
+            raise SimulationError("drive_reserve must be >= 0")
+
+
+class AdmissionController:
+    """Counts active load against the pools and says yes or no."""
+
+    def __init__(self, loadmanager: LoadManager, policy: AdmissionPolicy,
+                 n_drives: int) -> None:
+        self.loadmanager = loadmanager
+        self.policy = policy
+        self.n_drives = n_drives
+        self.active_jobs = 0
+        self.reserved_drives = 0
+
+    # -- capacity queries ----------------------------------------------
+    @property
+    def total_slots(self) -> int:
+        return self.policy.slots_per_node * len(self.loadmanager.nodes)
+
+    @property
+    def free_slots(self) -> int:
+        return self.loadmanager.free_slots(self.policy.slots_per_node)
+
+    @property
+    def usable_drives(self) -> int:
+        return max(0, self.n_drives - self.policy.drive_reserve)
+
+    def _drives_needed(self, ticket: JobTicket) -> int:
+        # TapeProc ranks only spawn in the restore direction
+        return ticket.cfg.num_tapeprocs if ticket.op == "retrieve" else 0
+
+    # -- decisions ------------------------------------------------------
+    def validate(self, ticket: JobTicket) -> None:
+        """Reject at submit time what could never run, even on an idle
+        site — otherwise the ticket would pin its tenant's queue head
+        forever (the fair-share scheduler does not skip heads)."""
+        if ticket.ranks > self.total_slots:
+            raise SimulationError(
+                f"job needs {ticket.ranks} rank-slots but the FTA pool "
+                f"tops out at {self.total_slots} "
+                f"({len(self.loadmanager.nodes)} nodes x "
+                f"{self.policy.slots_per_node} slots)"
+            )
+        needed = self._drives_needed(ticket)
+        if needed > self.usable_drives:
+            raise SimulationError(
+                f"job needs {needed} tape drives but only "
+                f"{self.usable_drives} are usable "
+                f"({self.n_drives} minus reserve {self.policy.drive_reserve})"
+            )
+
+    def admits(self, ticket: JobTicket) -> tuple[bool, str]:
+        """(True, "") to dispatch now, else (False, reason)."""
+        if self.active_jobs >= self.policy.max_active_jobs:
+            return False, "max-active-jobs"
+        if ticket.ranks > self.free_slots:
+            return False, "fta-load"
+        needed = self._drives_needed(ticket)
+        if needed and self.reserved_drives + needed > self.usable_drives:
+            return False, "drives"
+        return True, ""
+
+    # -- accounting -----------------------------------------------------
+    def on_dispatch(self, ticket: JobTicket) -> None:
+        self.loadmanager.job_started(ticket.nodes_used)
+        self.active_jobs += 1
+        self.reserved_drives += self._drives_needed(ticket)
+
+    def on_complete(self, ticket: JobTicket) -> None:
+        self.loadmanager.job_finished(ticket.nodes_used)
+        self.active_jobs -= 1
+        self.reserved_drives -= self._drives_needed(ticket)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AdmissionController active={self.active_jobs} "
+            f"free_slots={self.free_slots} "
+            f"drives={self.reserved_drives}/{self.usable_drives}>"
+        )

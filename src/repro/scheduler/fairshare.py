@@ -1,0 +1,106 @@
+"""Weighted fair-share across tenants (stride scheduling).
+
+Every tenant carries a *virtual time*.  Dispatching a job of cost ``c``
+(its Worker-rank count — the scarce FTA data movers) advances the
+tenant's virtual time by ``c / weight``; the scheduler always serves the
+backlogged tenant with the smallest virtual time (ties broken by name,
+so dispatch order is deterministic).  Two classical properties follow:
+
+* **proportional share** — over any interval in which a set of tenants
+  stays backlogged, tenant ``t`` receives ``weight_t / sum(weights)`` of
+  the dispatched cost, to within one job's cost per tenant pair;
+* **no starvation** — each dispatch strictly advances the chosen
+  tenant's virtual time while leaving the others in place, so every
+  backlogged tenant becomes the minimum after finitely many dispatches.
+
+A tenant idle for a while must not bank credit and then burst past
+everyone: when it becomes backlogged again its virtual time is advanced
+to the global virtual time (the largest virtual time ever served), the
+standard lag-clamp of stride/start-time fair queueing.
+
+:meth:`deviation` is the observability half — the number the S1
+benchmark bounds via trace assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim import SimulationError
+
+__all__ = ["FairShare"]
+
+
+class FairShare:
+    """Stride-scheduling accountant over a fixed tenant population."""
+
+    def __init__(self) -> None:
+        self._weights: dict[str, float] = {}
+        self._vtime: dict[str, float] = {}
+        #: largest virtual time ever served (lag clamp for idle tenants)
+        self._gvt = 0.0
+        #: cumulative dispatched cost per tenant (deviation bookkeeping)
+        self.dispatched_cost: dict[str, float] = {}
+
+    def add_tenant(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise SimulationError(
+                f"tenant {name!r} needs a positive weight, got {weight}"
+            )
+        if name in self._weights:
+            raise SimulationError(f"tenant {name!r} already registered")
+        self._weights[name] = float(weight)
+        self._vtime[name] = self._gvt
+        self.dispatched_cost[name] = 0.0
+
+    def weight_of(self, name: str) -> float:
+        return self._weights[name]
+
+    def on_backlogged(self, name: str) -> None:
+        """Clamp an idle tenant's lag when it becomes backlogged again."""
+        if self._vtime[name] < self._gvt:
+            self._vtime[name] = self._gvt
+
+    def pick(self, backlogged: Iterable[str]) -> Optional[str]:
+        """The backlogged tenant to serve next: min (virtual time, name)."""
+        best: Optional[str] = None
+        best_vt = 0.0
+        for name in backlogged:
+            vt = self._vtime[name]
+            if best is None or vt < best_vt or (vt == best_vt and name < best):
+                best, best_vt = name, vt
+        return best
+
+    def charge(self, name: str, cost: float) -> None:
+        """Account a dispatch of *cost* against *name*."""
+        self._vtime[name] += cost / self._weights[name]
+        if self._vtime[name] > self._gvt:
+            self._gvt = self._vtime[name]
+        self.dispatched_cost[name] += cost
+
+    def deviation(self, among: Iterable[str]) -> float:
+        """Max |served fraction − weight fraction| over *among*.
+
+        Both fractions are normalised within *among* (typically the
+        currently backlogged tenants): 0.0 is perfect weighted sharing,
+        1.0 is one tenant taking everything it wasn't owed.  Returns 0.0
+        until anything has been dispatched.
+        """
+        names = list(among)
+        if not names:
+            return 0.0
+        total_cost = sum(self.dispatched_cost[n] for n in names)
+        if total_cost <= 0:
+            return 0.0
+        total_weight = sum(self._weights[n] for n in names)
+        worst = 0.0
+        for n in names:
+            served = self.dispatched_cost[n] / total_cost
+            owed = self._weights[n] / total_weight
+            dev = abs(served - owed)
+            if dev > worst:
+                worst = dev
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FairShare tenants={len(self._weights)} gvt={self._gvt:.3f}>"

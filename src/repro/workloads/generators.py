@@ -16,7 +16,12 @@ from repro.sim.rng import RandomStreams
 from repro.workloads.openscience import JobSpec
 from repro.workloads.sizes import lognormal_sizes
 
-__all__ = ["huge_file_campaign", "materialize_job", "small_file_flood"]
+__all__ = [
+    "huge_file_campaign",
+    "materialize_job",
+    "preload_tree",
+    "small_file_flood",
+]
 
 
 def _instant_create(
@@ -67,6 +72,26 @@ def materialize_job(
             _instant_create(fs, "setup", f"{dpath}/f{j:07d}", size, job.job_id << 20)
             total += size
     return {"root": root, "n_files": n, "total_bytes": total}
+
+
+def preload_tree(
+    fs: GpfsFileSystem,
+    root: str,
+    sizes,
+    token_base: int = 0x51 << 20,
+) -> int:
+    """Instantly create ``root/f<i>`` with the given sizes; total bytes.
+
+    The flat-directory generator the scheduler scenarios use: one tiny
+    tree per submitted job, thousands of jobs per run — setup must not
+    bill simulated time or walk overhead.
+    """
+    fs.mkdir(root, parents=True)
+    total = 0
+    for i, size in enumerate(sizes):
+        _instant_create(fs, "setup", f"{root}/f{i:04d}", int(size), token_base)
+        total += int(size)
+    return total
 
 
 def small_file_flood(

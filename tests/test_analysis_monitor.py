@@ -116,11 +116,16 @@ def test_fixed_watchdog_passes_under_monitor():
         stat_batch=8, copy_batch=4, watchdog_interval=0.05,
     )
     job = system.archive("/campaign", "/archive/campaign", cfg)
+    mon = job.comm.monitor
+    assert mon is not None and mon.attached_jobs == 1
     stats = env.run(job.done)
     assert stats.files_copied == 4
-    assert job.comm.monitor is not None
-    assert job.comm.monitor.violations == []
-    assert job.comm.monitor.sent > 0
+    assert mon.violations == []
+    assert mon.sent > 0
+    # completion detaches: a long-running service's monitor holds no
+    # dead jobs (and the communicator drops its hook)
+    assert job.comm.monitor is None
+    assert mon.attached_jobs == 0
 
 
 # -------------------------------------------------- per-invariant units

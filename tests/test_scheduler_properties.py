@@ -1,0 +1,196 @@
+"""Property tests for the scheduler: no starvation, conservation,
+same-seed determinism.
+
+The fair-share properties are checked at two levels: the stride
+accountant in isolation (fast, many examples) and the whole service
+end-to-end against a small simulated site with random submissions,
+cancels and preempt/resume mid-run (few examples, each a full
+simulation).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pftool import PftoolConfig
+from repro.scheduler import (
+    COMPLETED,
+    PREEMPTED,
+    TERMINAL_STATES,
+    AdmissionPolicy,
+    ArchiveService,
+    FairShare,
+    SchedulerConfig,
+)
+from repro.scheduler.scenario import build_site
+from repro.sim import Environment
+from repro.workloads.generators import preload_tree
+
+MB = 1_000_000
+
+
+def small_cfg():
+    return PftoolConfig(num_workers=2, num_readdir=1, num_tapeprocs=0,
+                        stat_batch=8, copy_batch=4)
+
+
+# ---------------------------------------------------------------------------
+# no starvation (stride accountant in isolation: many examples)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _backlogs(draw):
+    n = draw(st.integers(2, 6))
+    weights = [draw(st.floats(0.25, 8.0)) for _ in range(n)]
+    pending = [draw(st.integers(1, 12)) for _ in range(n)]
+    costs = [draw(st.floats(1.0, 6.0)) for _ in range(n)]
+    return weights, pending, costs
+
+
+@given(_backlogs())
+@settings(max_examples=100, deadline=None)
+def test_no_starvation_under_fair_share(backlog):
+    """Serving min-vtime drains every backlogged tenant: no tenant with
+    pending work waits more than (total pending) dispatches."""
+    weights, pending, costs = backlog
+    fs = FairShare()
+    names = [f"t{i}" for i in range(len(weights))]
+    for name, w in zip(names, weights):
+        fs.add_tenant(name, w)
+    left = dict(zip(names, pending))
+    total = sum(pending)
+    served = 0
+    while any(left.values()):
+        backlogged = [n for n in names if left[n] > 0]
+        pick = fs.pick(backlogged)
+        assert pick in backlogged
+        fs.charge(pick, costs[names.index(pick)])
+        left[pick] -= 1
+        served += 1
+        assert served <= total, "dispatch loop failed to drain the backlog"
+    assert served == total
+
+
+# ---------------------------------------------------------------------------
+# end-to-end harness
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _service_run(draw):
+    n_tenants = draw(st.integers(2, 3))
+    weights = [draw(st.sampled_from([1.0, 2.0, 3.0]))
+               for _ in range(n_tenants)]
+    n_jobs = draw(st.integers(2, 6))
+    jobs = []
+    for k in range(n_jobs):
+        jobs.append({
+            "tenant": draw(st.integers(0, n_tenants - 1)),
+            "at": draw(st.floats(0.0, 0.5)),
+            "priority": draw(st.integers(0, 2)),
+            "files": draw(st.integers(1, 2)),
+        })
+    # (time, job_index, kind) disturbances; may hit already-finished jobs
+    n_chaos = draw(st.integers(0, 3))
+    chaos = [
+        (draw(st.floats(0.05, 1.5)), draw(st.integers(0, n_jobs - 1)),
+         draw(st.sampled_from(["cancel", "preempt"])))
+        for _ in range(n_chaos)
+    ]
+    return weights, jobs, chaos
+
+
+def _run_service(weights, jobs, chaos):
+    """Run one randomized service session to drain; returns the service."""
+    env = Environment()
+    system = build_site(env)
+    service = ArchiveService(system, SchedulerConfig(
+        policy=AdmissionPolicy(slots_per_node=12, max_active_jobs=2),
+        default_cfg=small_cfg(),
+    ))
+    for i, w in enumerate(weights):
+        service.add_tenant(f"t{i}", weight=w)
+    for k, job in enumerate(jobs):
+        preload_tree(system.scratch_fs, f"/jobs/{k}",
+                     [2 * MB] * job["files"])
+    tickets = {}
+
+    def feeder():
+        for k, job in sorted(enumerate(jobs), key=lambda kv: kv[1]["at"]):
+            delay = job["at"] - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            tickets[k] = service.submit(
+                f"t{job['tenant']}", "archive", f"/jobs/{k}", f"/arc/{k}",
+                priority=job["priority"],
+            )
+
+    def disturber():
+        for at, k, kind in sorted(chaos):
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            ticket = tickets.get(k)
+            if ticket is None:
+                continue
+            if kind == "cancel":
+                service.cancel(ticket.job_id)
+            else:
+                service.preempt(ticket.job_id)
+
+    resumed_ids = set()
+
+    def resumer():
+        # resume every preemption until none are parked (each resumed
+        # ticket may itself be preempted again by a later disturbance)
+        while True:
+            yield env.timeout(0.2)
+            parked = [
+                t for t in list(service._tickets.values())
+                if t.state == PREEMPTED and t.job_id not in resumed_ids
+            ]
+            for t in parked:
+                resumed_ids.add(t.job_id)
+                service.resume(t.job_id)
+            if not parked and service.in_flight == 0 and len(tickets) == len(jobs):
+                return
+
+    env.process(feeder())
+    env.process(disturber())
+    env.process(resumer())
+    env.run()
+    return service
+
+
+@given(_service_run())
+@settings(max_examples=12, deadline=None)
+def test_conservation_submitted_equals_terminal(run):
+    """submitted == completed + cancelled + preempted at drain, every
+    ticket terminal, and every preemption resumable work is conserved."""
+    weights, jobs, chaos = run
+    service = _run_service(weights, jobs, chaos)
+    s = service.summary()
+    assert s["queued"] == 0 and s["active"] == 0
+    assert s["submitted"] == (
+        s["completed"] + s["cancelled"] + s["preempted"]
+    )
+    for t in service._tickets.values():
+        assert t.state in TERMINAL_STATES
+        assert t.done.triggered
+    # load fully released on the FTA pool
+    assert service.system.loadmanager.total_load == 0
+    # every job that COMPLETED landed its files
+    for ticket in service._tickets.values():
+        if ticket.state == COMPLETED:
+            assert ticket.stats is not None
+            assert ticket.stats.files_failed == 0
+
+
+@given(_service_run())
+@settings(max_examples=8, deadline=None)
+def test_same_seed_dispatch_order_deterministic(run):
+    """The same submission/chaos schedule replayed from scratch yields a
+    byte-identical dispatch order and summary."""
+    weights, jobs, chaos = run
+    a = _run_service(weights, jobs, chaos)
+    b = _run_service(weights, jobs, chaos)
+    assert a.dispatch_log == b.dispatch_log
+    assert a.summary() == b.summary()
+    assert a.deviation_samples == b.deviation_samples

@@ -1,13 +1,16 @@
 """Command-line linter: ``python -m repro.analysis.lint src/``.
 
 Exit status 0 when clean, 1 when findings remain after suppressions,
-2 on usage errors.  ``--format json`` emits a machine-readable report
-(CI archives it); ``--select RA001,RA003`` restricts the rule set.
+2 when the linter itself crashed (or on usage errors).  ``--format
+json`` emits a machine-readable report (CI archives it); ``--format
+sarif`` emits SARIF 2.1.0 for GitHub code-scanning annotations;
+``--select RA001,RA003`` restricts the rule set.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -19,9 +22,14 @@ from repro.analysis.rules_queues import (
     QueueComplexityRule,
     QueueDisciplineRule,
 )
+from repro.analysis.rules_races import (
+    SharedMutableStateRule,
+    UnboundedServiceWaitRule,
+    UnorderedZeroDelayRule,
+)
 from repro.analysis.rules_recovery import JournalIntentRule
 
-__all__ = ["default_rules", "main"]
+__all__ = ["default_rules", "main", "to_sarif"]
 
 
 def default_rules() -> list[Rule]:
@@ -33,19 +41,73 @@ def default_rules() -> list[Rule]:
         BlockingReceiveRule(),
         QueueComplexityRule(),
         JournalIntentRule(),
+        SharedMutableStateRule(),
+        UnboundedServiceWaitRule(),
+        UnorderedZeroDelayRule(),
     ]
+
+
+def to_sarif(result: LintResult, rules: Sequence[Rule]) -> dict:
+    """SARIF 2.1.0 log of a lint run (GitHub code-scanning format)."""
+    rule_meta = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {
+                "text": (rule.__doc__ or rule.name).strip().splitlines()[0]
+            },
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+        "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="Static checks for repro's determinism, protocol, "
-        "queue-discipline and crash-journal invariants (RA001-RA007).",
+        "queue-discipline, crash-journal and schedule-safety invariants "
+        "(RA001-RA010).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -57,18 +119,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    rules = default_rules()
     select = None
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
-        known = {rule.code for rule in default_rules()}
+        known = {rule.code for rule in rules}
         unknown = set(select) - known
         if unknown:
             parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
 
-    result: LintResult = run_lint(args.paths, default_rules(), select=select)
+    try:
+        result: LintResult = run_lint(args.paths, rules, select=select)
+    except Exception as exc:  # noqa: BLE001 - exit-code contract: crash = 2
+        print(
+            f"linter crashed: {type(exc).__name__}: {exc}", file=sys.stderr
+        )
+        return 2
 
     if args.format == "json":
         print(result.to_json())
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(result, rules), indent=2))
     else:
         for finding in result.findings:
             print(finding.format())

@@ -122,6 +122,9 @@ class InvariantMonitor:
         self.received = 0
         #: rank -> outstanding StoreGet posted by that rank's last recv
         self._pending_recv: dict[int, Any] = {}
+        #: delivery times of operator Aborts sent to the current job —
+        #: the happens-before evidence for the stranded-Abort audit
+        self._abort_deliveries: list[float] = []
         #: jobs currently attached (a long-running service must see this
         #: return to its old size after every job completes — growth here
         #: is the monitor leaking dead jobs)
@@ -170,6 +173,7 @@ class InvariantMonitor:
             self._manager = None
             self._manager_process = None
             self._pending_recv.clear()
+            self._abort_deliveries.clear()
 
     @property
     def attached_jobs(self) -> int:
@@ -199,6 +203,14 @@ class InvariantMonitor:
     # -- communicator hooks --------------------------------------------
     def on_send(self, comm: Any, msg: Any) -> None:
         self.sent += 1
+        if type(msg.payload).__name__ == "Abort" and self._env is not None:
+            # Record when this Abort will *land*: the completion audit
+            # excuses a stranded Abort only when its delivery is ordered
+            # at-or-after the Manager's last receive (no happens-before
+            # path from delivery to consumption).
+            self._abort_deliveries.append(
+                self._env.now + getattr(comm, "latency", 0.0)
+            )
         table = self._payload_table
         if table is not None and msg.tag in table:
             family = table[msg.tag]
@@ -250,21 +262,36 @@ class InvariantMonitor:
         if stats.aborted:
             return  # an aborted job legitimately strands messages
         live = getattr(self._job, "live_ranks", None)
+        # The Manager stopped receiving when it began finishing; it
+        # stamps that instant into ``stats.finished`` (see
+        # Manager._finish).  An Abort delivered at-or-after that instant
+        # has no happens-before path to any Manager receive, so it
+        # legitimately strands (the job won the race against the
+        # cancel).  An Abort delivered strictly *before* it would have
+        # been consumed by the Manager's FIFO any-source receive loop —
+        # one still sitting in the mailbox is lost protocol traffic.
+        finished = getattr(stats, "finished", None)
+        excusable_aborts = sum(
+            1
+            for t in self._abort_deliveries
+            if finished is None or t >= finished
+        )
         for rank, store in enumerate(comm._mailboxes):
             if live is not None and rank not in live:
                 continue  # e.g. Exit broadcast to never-spawned tape ranks
             # A worker's final WorkRequest legitimately lands after the
             # Manager stopped receiving; an Exit can strand when a rank
-            # already terminated; an operator Abort can race completion
-            # (the job finished before the cancel landed).  Anything
-            # else is lost protocol traffic.
-            stranded = [
-                msg
-                for msg in store.items
-                if msg.tag != self._tag_work_req
-                and not self._is_exit(msg)
-                and type(msg.payload).__name__ != "Abort"
-            ]
+            # already terminated.  Anything else is lost protocol
+            # traffic — including an Abort whose delivery the
+            # happens-before audit above cannot excuse.
+            stranded = []
+            for msg in store.items:
+                if msg.tag == self._tag_work_req or self._is_exit(msg):
+                    continue
+                if type(msg.payload).__name__ == "Abort" and excusable_aborts:
+                    excusable_aborts -= 1
+                    continue
+                stranded.append(msg)
             if stranded:
                 tags = sorted({msg.tag for msg in stranded})
                 self._violate(

@@ -1,0 +1,59 @@
+"""Schedule sanitizer: happens-before races, permutation, deadlocks.
+
+Three-part dynamic companion to the static RA rules (see
+``repro.analysis``):
+
+1. :class:`RaceDetector` — vector-clock happens-before tracking over
+   SimComm send/recv, Store put/get and Resource acquire/release,
+   flagging *schedule-sensitive conflicts* (same-instant, cross-process,
+   no HB edge) plus continuous wait-for-graph deadlock scanning and an
+   end-of-run stall check.
+2. :func:`sanitize_scenario` — the DPOR-lite permuter: re-runs a seeded
+   ``repro.perf`` scenario under N permuted same-instant schedules
+   (:class:`repro.sim.RandomTiebreakPolicy`) and gates on conserved
+   headline keys staying byte-identical; timing-class divergences must
+   be mechanically attributed (minimized) to a legal same-``(time,
+   priority)`` tie-break pair.
+3. :func:`sanitize_soak` — the scheduler chaos soak under FIFO +
+   permuted schedules, gating on the service invariant list staying
+   empty and the run staying deadlock/stall-free.
+
+CLI::
+
+    python -m repro.analysis.races --permutations 10
+
+Exit codes: 0 = clean, 1 = findings (unexplained divergence, deadlock,
+stall or soak violation), 2 = sanitizer crashed.
+"""
+
+from repro.analysis.races.clocks import VectorClock
+from repro.analysis.races.detector import (
+    KernelHooks,
+    RaceDetector,
+    ScheduleRecorder,
+    describe_event,
+    find_cycles,
+)
+from repro.analysis.races.permute import (
+    classify_headline_key,
+    derive_seed,
+    minimize_divergence,
+    sanitize_scenario,
+    sanitize_soak,
+    split_headline,
+)
+
+__all__ = [
+    "KernelHooks",
+    "RaceDetector",
+    "ScheduleRecorder",
+    "VectorClock",
+    "classify_headline_key",
+    "derive_seed",
+    "describe_event",
+    "find_cycles",
+    "minimize_divergence",
+    "sanitize_scenario",
+    "sanitize_soak",
+    "split_headline",
+]

@@ -1,0 +1,164 @@
+"""CLI for the schedule sanitizer: ``python -m repro.analysis.races``.
+
+Runs the happens-before detector + same-instant schedule permuter over
+a set of perf scenarios (and optionally the scheduler chaos soak) and
+reports schedule-sensitive conflicts, divergences, deadlocks and
+stalls.  The whole run is deterministic for a given ``--seed``.
+
+Exit codes: 0 = gate passed, 1 = findings, 2 = sanitizer crashed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.races.permute import sanitize_scenario, sanitize_soak
+
+#: the acceptance trio: a reduced paper-figure workload, the fabric hot
+#: path, and the multi-tenant scheduler flood
+DEFAULT_SCENARIOS = "fig8_proxy,fabric_churn,s1_scheduler"
+
+#: convenience aliases accepted on --scenarios
+ALIASES = {"fig8": "fig8_proxy", "fig10": "fig10_proxy", "fabric": "fabric_churn"}
+
+
+def _summarize(report: dict, verbose: bool) -> list[str]:
+    lines = []
+    name = report["scenario"]
+    status = "ok" if report["ok"] else "FINDINGS"
+    if "runs" in report:  # soak report
+        lines.append(
+            f"{name:<16} {status:<9} permutations={report['permutations']} "
+            f"violations={report['violations']} deadlocks={report['deadlocks']} "
+            f"stalls={report['stalls']}"
+        )
+    else:
+        dyn = report.get("dynamic", {})
+        lines.append(
+            f"{name:<16} {status:<9} permutations={report['permutations']} "
+            f"divergences={len(report['divergences'])} "
+            f"(unexplained={report['unexplained_divergences']}) "
+            f"conflicts={dyn.get('conflict_signatures', 0)}sig/"
+            f"{dyn.get('conflict_events', 0)}ev "
+            f"deadlocks={report['deadlocks']} stalls={report['stalls']}"
+        )
+        for div in report["divergences"]:
+            kind = "explained" if div["explained"] else "UNEXPLAINED"
+            keys = sorted(div["conserved_diffs"]) + sorted(div["timing_diffs"])
+            lines.append(
+                f"  permutation {div['permutation']} "
+                f"(seed {div['tiebreak_seed']}): {kind} divergence in "
+                f"{', '.join(keys)}"
+            )
+            first = div.get("first_divergence")
+            if first is not None:
+                base, perm = first["base_event"], first["permuted_event"]
+                lines.append(
+                    f"    first diverging pop #{first['pop_index']} "
+                    f"(same-instant pair: {first['same_instant_pair']})"
+                )
+                if base and perm:
+                    lines.append(
+                        f"      base:     t={base['time']:.9g} "
+                        f"prio={base['priority']} {base['event']}"
+                    )
+                    lines.append(
+                        f"      permuted: t={perm['time']:.9g} "
+                        f"prio={perm['priority']} {perm['event']}"
+                    )
+        if verbose:
+            for c in dyn.get("conflicts", [])[:20]:
+                lines.append(
+                    f"  conflict x{c['count']:<7} {c['object']}: "
+                    f"{c['access_a']} ~ {c['access_b']}"
+                )
+    for d in report.get("dynamic", {}).get("deadlocks", []):
+        chain = " -> ".join(
+            f"{e['process']}[{e['waiting_on']}]" for e in d["cycle"]
+        )
+        lines.append(f"  DEADLOCK at t={d['time']:.9g}: {chain}")
+    for s in report.get("dynamic", {}).get("stalls", []):
+        lines.append(
+            f"  STALL at t={s['time']:.9g}: {s['process']} parked on "
+            f"{s['waiting_on']} with an empty event queue"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.races",
+        description="schedule sanitizer: HB races, permutations, deadlocks",
+    )
+    parser.add_argument(
+        "--scenarios", default=DEFAULT_SCENARIOS,
+        help=f"comma-separated perf scenarios (default: {DEFAULT_SCENARIOS})",
+    )
+    parser.add_argument(
+        "--permutations", type=int, default=10,
+        help="permuted schedules per scenario (default: 10)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--soak", action="store_true",
+        help="also sanitize the scheduler chaos soak",
+    )
+    parser.add_argument(
+        "--no-detect", action="store_true",
+        help="skip the HB detector (permutation gate only; faster)",
+    )
+    parser.add_argument(
+        "--scan-interval", type=int, default=5000,
+        help="deadlock scan cadence in time advances (default: 5000)",
+    )
+    parser.add_argument("--out", help="write the full JSON report here")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list top conflict signatures",
+    )
+    args = parser.parse_args(argv)
+
+    names = [
+        ALIASES.get(n.strip(), n.strip())
+        for n in args.scenarios.split(",")
+        if n.strip()
+    ]
+    try:
+        reports = [
+            sanitize_scenario(
+                name,
+                permutations=args.permutations,
+                seed=args.seed,
+                detect=not args.no_detect,
+                scan_interval=args.scan_interval,
+            )
+            for name in names
+        ]
+        if args.soak:
+            reports.append(
+                sanitize_soak(permutations=args.permutations, seed=args.seed)
+            )
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        print(f"sanitizer crashed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    for report in reports:
+        print("\n".join(_summarize(report, args.verbose)))
+    ok = all(r["ok"] for r in reports)
+    print(
+        f"\nschedule sanitizer: {'PASS' if ok else 'FAIL'} "
+        f"({len(reports)} target(s), {args.permutations} permutations, "
+        f"seed {args.seed})"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "reports": reports}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Vector clocks for the happens-before race detector.
+
+A :class:`VectorClock` maps process id -> logical clock value.  The
+detector keeps one per simulated process and advances it on every
+observable action (send, receive, put, get, acquire, release); a
+message or store item carries a frozen snapshot of its producer's clock,
+which the consumer merges on delivery — the transitive happens-before
+relation falls out of the merges.
+
+The detector's hot path never materialises full clock comparisons: it
+uses the *epoch* pair test (``b.vc[pid_a] >= clk_a``) against a single
+component.  The full :meth:`compare` is for tests and offline analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A sparse vector clock: ``{pid: clock}`` with missing entries = 0."""
+
+    __slots__ = ("c",)
+
+    def __init__(self, entries: Optional[Mapping[int, int]] = None) -> None:
+        self.c: dict[int, int] = dict(entries) if entries else {}
+
+    # -- advancement ----------------------------------------------------
+    def tick(self, pid: int) -> int:
+        """Increment *pid*'s component; return the new value (its epoch)."""
+        v = self.c.get(pid, 0) + 1
+        self.c[pid] = v
+        return v
+
+    def merge(self, other: Mapping[int, int]) -> None:
+        """Componentwise max with *other* (message-receive join)."""
+        c = self.c
+        for pid, v in (other.c if isinstance(other, VectorClock) else other).items():
+            if v > c.get(pid, 0):
+                c[pid] = v
+
+    def observe(self, pid: int, clk: int) -> None:
+        """Raise *pid*'s component to at least *clk*."""
+        if clk > self.c.get(pid, 0):
+            self.c[pid] = clk
+
+    # -- queries --------------------------------------------------------
+    def get(self, pid: int) -> int:
+        return self.c.get(pid, 0)
+
+    def dominates(self, pid: int, clk: int) -> bool:
+        """Epoch test: does this clock know *pid*'s action *clk*?"""
+        return self.c.get(pid, 0) >= clk
+
+    def compare(self, other: "VectorClock") -> Optional[int]:
+        """Full comparison: -1 (self < other), 0 (equal), 1 (self > other),
+        or None when the clocks are concurrent (incomparable)."""
+        le = ge = True
+        for pid in set(self.c) | set(other.c):
+            a, b = self.c.get(pid, 0), other.c.get(pid, 0)
+            if a < b:
+                ge = False
+            elif a > b:
+                le = False
+        if le and ge:
+            return 0
+        if le:
+            return -1
+        if ge:
+            return 1
+        return None
+
+    # -- maintenance ----------------------------------------------------
+    def copy(self) -> "VectorClock":
+        vc = VectorClock()
+        vc.c = dict(self.c)
+        return vc
+
+    def snapshot(self, drop: Iterable[int] = ()) -> dict[int, int]:
+        """A plain-dict copy, optionally omitting the pids in *drop*
+        (the detector prunes processes that died before the current
+        instant — they can take no further actions, so no future access
+        will ever need their component for the epoch test)."""
+        if not drop:
+            return dict(self.c)
+        dropset = set(drop)
+        return {p: v for p, v in self.c.items() if p not in dropset}
+
+    def __len__(self) -> int:
+        return len(self.c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{p}:{v}" for p, v in sorted(self.c.items()))
+        return f"<VC {{{inner}}}>"

@@ -1,0 +1,545 @@
+"""Dynamic happens-before race detection and deadlock/stall analysis.
+
+The :class:`RaceDetector` plugs into ``Environment.hb`` (see
+``repro.sim.kernel``) and observes every kernel event pop plus the
+store/resource/communicator hook points.  It maintains one
+:class:`~repro.analysis.races.clocks.VectorClock` per simulated process
+and derives three kinds of findings:
+
+* **schedule-sensitive conflicts** — two same-timestamp accesses from
+  different processes to the same store / mailbox / resource with no
+  happens-before edge between them.  Every such pair is an ordering
+  the FIFO tie-break pins down arbitrarily; the permuter
+  (:mod:`repro.analysis.races.permute`) is what proves the pinning is
+  benign.  Conflicts are therefore *informational*: they map where the
+  simulation's outcome could depend on layer-3 ordering.
+* **deadlocks** — cycles in the wait-for graph built from blocked
+  ``Request`` -> holder edges and process joins, scanned continuously
+  every ``scan_interval`` time advances and once at the end.
+* **stalls** — live processes still parked on non-time events when the
+  event queue has drained (nothing can ever wake them).
+
+Happens-before edges tracked: program order (per-process clock),
+message send -> delivery -> receive (items carry a frozen snapshot of
+the producer's clock, merged by the consumer), and resource release ->
+next acquire.  Actions taken from kernel context (``call_later``
+closures with no active process) share the synthetic pid 0 unless they
+deliver a stamped item — message deliveries are stamped by
+``SimComm.send``, so the dominant kernel-context writer is attributed
+to its true originating process.
+
+Precision notes: the detector never reports a false *ordered* verdict
+for accesses it attributes correctly — the epoch pair test
+(``vc_b[pid_a] >= clk_a``) is evaluated at the second access against
+the first access's exact epoch.  It can over-report (two pid-0 actions
+from unrelated timers are treated as one process and their mutual
+conflicts suppressed; a resource's release stamp is last-writer-wins,
+adding a spurious edge when releases pile up) — both biases are toward
+fewer conflicts, never toward false deadlocks.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Any, Optional
+
+from repro.analysis.races.clocks import VectorClock
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Process,
+    Timeout,
+    _ScheduledCall,
+)
+from repro.sim.resources import Request, StoreGet
+
+__all__ = [
+    "KernelHooks",
+    "RaceDetector",
+    "ScheduleRecorder",
+    "describe_event",
+    "find_cycles",
+]
+
+
+def find_cycles(edges: dict[int, set[int]]) -> list[list[int]]:
+    """Cycles in a directed graph (iterative DFS, gray/black coloring).
+
+    Returns each cycle as the list of nodes along it (no closing
+    repeat).  Only the first cycle reached through any given node is
+    reported — enough for deadlock detection, where one representative
+    per strongly-connected knot is what the operator needs.
+    """
+    cycles: list[list[int]] = []
+    color: dict[int, int] = {}  # 1 = on current path, 2 = done
+    for root in edges:
+        if color.get(root):
+            continue
+        path = [root]
+        on_path = {root}
+        color[root] = 1
+        iters = [iter(edges.get(root, ()))]
+        while iters:
+            advanced = False
+            for nxt in iters[-1]:
+                if nxt in on_path:
+                    cycles.append(path[path.index(nxt):])
+                    continue
+                if color.get(nxt) or nxt not in edges:
+                    continue
+                color[nxt] = 1
+                path.append(nxt)
+                on_path.add(nxt)
+                iters.append(iter(edges.get(nxt, ())))
+                advanced = True
+                break
+            if not advanced:
+                done = path.pop()
+                on_path.discard(done)
+                color[done] = 2
+                iters.pop()
+    return cycles
+
+_DIGITS = re.compile(r"\d+")
+
+
+def _norm(name: str) -> str:
+    """Collapse instance numbering so findings dedup across jobs/ranks."""
+    return _DIGITS.sub("#", name)
+
+
+def describe_event(event: Any) -> str:
+    """Stable, policy-independent one-line description of a popped event."""
+    if type(event) is _ScheduledCall:
+        fn = event._fn
+        return f"call:{getattr(fn, '__qualname__', repr(fn))}"
+    if isinstance(event, Process):
+        return f"proc:{event.name}"
+    if isinstance(event, Timeout):
+        return "timeout"
+    return type(event).__name__
+
+
+class KernelHooks:
+    """No-op base for ``Environment.hb`` recorders.
+
+    Subclass and override what you need; the kernel calls:
+    ``on_pop`` (every event), ``on_process`` (process creation),
+    ``on_comm_send`` / ``on_comm_recv`` (SimComm), ``on_store_put`` /
+    ``on_store_get`` (Store family), ``on_request`` / ``on_release``
+    (Resource family).
+    """
+
+    def bind(self, env: Any) -> None:
+        self.env = env
+
+    def on_pop(self, t: float, priority: int, event: Any) -> None:
+        pass
+
+    def on_process(self, proc: Any) -> None:
+        pass
+
+    def on_comm_send(self, comm: Any, msg: Any, latency: float) -> None:
+        pass
+
+    def on_comm_recv(self, comm: Any, rank: int, get: Any) -> None:
+        pass
+
+    def on_store_put(self, store: Any, item: Any) -> None:
+        pass
+
+    def on_store_get(self, store: Any, get: Any) -> None:
+        pass
+
+    def on_request(self, resource: Any, request: Any) -> None:
+        pass
+
+    def on_release(self, resource: Any, request: Any) -> None:
+        pass
+
+
+class ScheduleRecorder(KernelHooks):
+    """Records the pop stream for schedule comparison / minimization.
+
+    ``window=None`` records a compact digest per pop (crc32 of
+    ``time|priority|description``); ``window=(lo, hi)`` records full
+    ``(time, priority, description)`` tuples for pops with index in
+    ``[lo, hi)`` only — the two-pass protocol the divergence minimizer
+    uses to avoid holding millions of tuples.
+    """
+
+    def __init__(self, window: Optional[tuple[int, int]] = None) -> None:
+        from zlib import crc32
+
+        self._crc32 = crc32
+        self.window = window
+        self.digests: list[int] = []
+        self.entries: list[tuple[int, float, int, str]] = []
+        self._idx = 0
+
+    def on_pop(self, t: float, priority: int, event: Any) -> None:
+        i = self._idx
+        self._idx += 1
+        if self.window is None:
+            desc = describe_event(event)
+            self.digests.append(
+                self._crc32(f"{t!r}|{priority}|{desc}".encode("utf-8"))
+            )
+        elif self.window[0] <= i < self.window[1]:
+            self.entries.append((i, t, priority, describe_event(event)))
+
+
+class RaceDetector(KernelHooks):
+    """Happens-before tracker + wait-for-graph deadlock/stall scanner."""
+
+    #: synthetic pid for actions taken outside any process (timers)
+    KERNEL_PID = 0
+
+    def __init__(self, scan_interval: int = 5000, max_examples: int = 3) -> None:
+        self.scan_interval = scan_interval
+        self.max_examples = max_examples
+        self.env: Any = None
+        # -- processes -------------------------------------------------
+        self._pids: dict[Any, int] = {}
+        self._names: list[str] = ["<kernel>"]
+        self._clocks: list[Optional[VectorClock]] = [VectorClock()]
+        self._alive: list[Any] = [None]  # pid -> Process (None once dead)
+        self._dying: deque[tuple[float, int]] = deque()
+        self._dead: set[int] = set()
+        # -- shared-object labels --------------------------------------
+        self._labels: dict[int, str] = {}
+        self._label_refs: dict[int, Any] = {}  # keep ids stable
+        self._type_counts: dict[str, int] = {}
+        self._comms: dict[int, int] = {}
+        # -- happens-before state --------------------------------------
+        #: id(item) -> (producer pid, epoch, clock snapshot)
+        self._item_stamp: dict[int, tuple[int, int, dict[int, int]]] = {}
+        #: id(request) -> requester pid (holders; for the wait-for graph)
+        self._req_pid: dict[int, int] = {}
+        #: id(resource) -> release clock snapshot (release -> acquire edge)
+        self._res_stamp: dict[int, tuple[int, int, dict[int, int]]] = {}
+        #: id(obj) -> [instant, {(pid, kind): latest epoch}] — keeping only
+        #: the latest epoch per (pid, kind) is exact (epochs are monotone:
+        #: ordered w.r.t. the latest access implies ordered w.r.t. all
+        #: earlier ones) and bounds the same-instant scan by distinct
+        #: accessors, not accesses
+        self._groups: dict[int, list] = {}
+        # -- findings --------------------------------------------------
+        #: signature -> [count, first time, example detail]
+        self.conflicts: dict[tuple, list] = {}
+        self.deadlocks: list[dict] = []
+        self.stalls: list[dict] = []
+        self._deadlock_sigs: set[frozenset] = set()
+        self._time = float("-inf")
+        self._advances = 0
+
+    # -- registration ---------------------------------------------------
+    def bind(self, env: Any) -> None:
+        self.env = env
+
+    def on_process(self, proc: Any) -> None:
+        pid = len(self._names)
+        self._pids[proc] = pid
+        self._names.append(proc.name)
+        self._clocks.append(VectorClock())
+        self._alive.append(proc)
+
+    def _actor(self) -> int:
+        proc = self.env.active_process if self.env is not None else None
+        if proc is None:
+            return self.KERNEL_PID
+        pid = self._pids.get(proc)
+        if pid is None:
+            # process predates the detector (not possible via the factory
+            # hook, but harmless): register it late
+            self.on_process(proc)
+            pid = self._pids[proc]
+        return pid
+
+    def _label(self, obj: Any) -> str:
+        oid = id(obj)
+        label = self._labels.get(oid)
+        if label is None:
+            tname = type(obj).__name__
+            n = self._type_counts.get(tname, 0)
+            self._type_counts[tname] = n + 1
+            label = f"{tname}#{n}"
+            self._labels[oid] = label
+            self._label_refs[oid] = obj
+        return label
+
+    def _register_comm(self, comm: Any) -> None:
+        cid = id(comm)
+        if cid in self._comms:
+            return
+        ci = len(self._comms)
+        self._comms[cid] = ci
+        self._label_refs[cid] = comm
+        for rank, mbox in enumerate(comm._mailboxes):
+            self._labels[id(mbox)] = f"comm{ci}.mbox[{rank}]"
+            self._label_refs[id(mbox)] = mbox
+
+    # -- clock plumbing -------------------------------------------------
+    def _tick(self, pid: int) -> int:
+        vc = self._clocks[pid]
+        if vc is None:  # dead and pruned; resurrect minimally
+            vc = self._clocks[pid] = VectorClock()
+        return vc.tick(pid)
+
+    def _snapshot(self, pid: int) -> dict[int, int]:
+        vc = self._clocks[pid]
+        return vc.snapshot(self._dead) if vc is not None else {}
+
+    def _merge_into(self, pid: int, stamp: tuple[int, int, dict[int, int]]) -> None:
+        vc = self._clocks[pid]
+        if vc is None:
+            return
+        spid, sclk, svc = stamp
+        vc.merge(svc)
+        vc.observe(spid, sclk)
+
+    # -- conflict core ---------------------------------------------------
+    def _record(
+        self,
+        obj: Any,
+        pid: int,
+        clk: int,
+        kind: str,
+        vc: Optional[dict[int, int]] = None,
+    ) -> None:
+        """Record an access and test it against same-instant peers.
+
+        *vc* is the accessor's knowledge (defaults to its live clock);
+        a stamped delivery passes the producer's send-time snapshot so
+        the test stays exact for kernel-context deliveries.
+        """
+        oid = id(obj)
+        now = self.env.now
+        group = self._groups.get(oid)
+        name = self._names[pid]
+        if group is None or group[0] != now:
+            self._groups[oid] = [now, {(pid, kind): (clk, name)}]
+            return
+        if vc is None:
+            live = self._clocks[pid]
+            vc = live.c if live is not None else {}
+        peers = group[1]
+        for (pa, ka), (ca, na) in peers.items():
+            if pa == pid:
+                continue
+            if vc.get(pa, 0) >= ca:
+                continue  # ordered: accessor knows the prior access
+            self._conflict(obj, now, (na, ka), (name, kind))
+        peers[(pid, kind)] = (clk, name)
+
+    def _conflict(
+        self, obj: Any, t: float, a: tuple[str, str], b: tuple[str, str]
+    ) -> None:
+        label = self._label(obj)
+        sig = (_norm(label), a[1], _norm(a[0]), b[1], _norm(b[0]))
+        entry = self.conflicts.get(sig)
+        if entry is None:
+            self.conflicts[sig] = [1, t, [f"t={t:.9g} {label}: {a[0]}.{a[1]} ~ {b[0]}.{b[1]}"]]
+        else:
+            entry[0] += 1
+            if len(entry[2]) < self.max_examples:
+                entry[2].append(f"t={t:.9g} {label}: {a[0]}.{a[1]} ~ {b[0]}.{b[1]}")
+
+    # -- kernel hooks ----------------------------------------------------
+    def on_pop(self, t: float, priority: int, event: Any) -> None:
+        if t != self._time:
+            self._time = t
+            self._advances += 1
+            dying = self._dying
+            while dying and dying[0][0] < t:
+                _, pid = dying.popleft()
+                self._dead.add(pid)
+                self._clocks[pid] = None  # dead pids take no further actions
+                self._alive[pid] = None
+            if self._advances % self.scan_interval == 0:
+                self.scan_deadlocks()
+        if isinstance(event, Process):
+            pid = self._pids.get(event)
+            if pid is not None and pid not in self._dead:
+                self._dying.append((t, pid))
+
+    def on_comm_send(self, comm: Any, msg: Any, latency: float) -> None:
+        self._register_comm(comm)
+        pid = self._actor()
+        clk = self._tick(pid)
+        self._item_stamp[id(msg)] = (pid, clk, self._snapshot(pid))
+
+    def on_comm_recv(self, comm: Any, rank: int, get: Any) -> None:
+        self._register_comm(comm)
+
+    def on_store_put(self, store: Any, item: Any) -> None:
+        pid = self._actor()
+        if pid == self.KERNEL_PID:
+            stamp = self._item_stamp.get(id(item))
+            if stamp is not None:
+                # stamped delivery from kernel context: attribute to the
+                # producer's send-time epoch (exact HB semantics)
+                spid, sclk, svc = stamp
+                self._record(store, spid, sclk, "put", vc=svc)
+                return
+        clk = self._tick(pid)
+        self._record(store, pid, clk, "put")
+        self._item_stamp[id(item)] = (pid, clk, self._snapshot(pid))
+
+    def on_store_get(self, store: Any, get: Any) -> None:
+        pid = self._actor()
+        clk = self._tick(pid)
+        self._record(store, pid, clk, "get")
+        get.callbacks.append(lambda ev, pid=pid: self._on_get_done(pid, ev))
+
+    def _on_get_done(self, pid: int, event: Any) -> None:
+        if not event._ok:
+            return
+        stamp = self._item_stamp.pop(id(event._value), None)
+        if stamp is not None:
+            self._merge_into(pid, stamp)
+
+    def on_request(self, resource: Any, request: Any) -> None:
+        pid = self._actor()
+        clk = self._tick(pid)
+        self._record(resource, pid, clk, "acquire")
+        self._req_pid[id(request)] = pid
+        request.callbacks.append(lambda ev, rid=id(resource), pid=pid: self._on_grant(pid, rid))
+
+    def _on_grant(self, pid: int, rid: int) -> None:
+        stamp = self._res_stamp.get(rid)
+        if stamp is not None:
+            self._merge_into(pid, stamp)
+
+    def on_release(self, resource: Any, request: Any) -> None:
+        pid = self._actor()
+        clk = self._tick(pid)
+        self._record(resource, pid, clk, "release")
+        self._res_stamp[id(resource)] = (pid, clk, self._snapshot(pid))
+        self._req_pid.pop(id(request), None)
+
+    # -- deadlock / stall scanning ---------------------------------------
+    def _deps(self, event: Any, depth: int = 0) -> tuple[bool, set[int]]:
+        """(blocked-forever-able, wait-for pids) of a process target.
+
+        ``blocked`` is False when the event is time-bound (a Timeout or
+        kernel timer will fire it) so it can never be part of a
+        deadlock or stall.
+        """
+        if event is None or event.triggered:
+            return False, set()
+        if isinstance(event, (Timeout, _ScheduledCall)):
+            return False, set()
+        if isinstance(event, Request):
+            pids = set()
+            for holder in event.resource.users:
+                hp = self._req_pid.get(id(holder))
+                if hp is not None:
+                    pids.add(hp)
+            return True, pids
+        if isinstance(event, Process):
+            pid = self._pids.get(event)
+            return True, {pid} if pid is not None else set()
+        if isinstance(event, AnyOf):
+            union: set[int] = set()
+            for sub in event._events:
+                blocked, pids = self._deps(sub, depth + 1)
+                if not blocked:
+                    return False, set()  # some branch will fire by itself
+                union |= pids
+            return True, union
+        if isinstance(event, (AllOf, Condition)):
+            union = set()
+            blocked_any = False
+            for sub in event._events:
+                if sub.triggered:
+                    continue
+                blocked, pids = self._deps(sub, depth + 1)
+                if blocked:
+                    blocked_any = True
+                    union |= pids
+            return blocked_any, union
+        # StoreGet / bare Event: can block forever but waits on no
+        # specific process (any producer could satisfy it)
+        return True, set()
+
+    def wait_graph(self) -> tuple[dict[int, set[int]], dict[int, str]]:
+        """Edges pid -> pids it waits for, plus a what-it-waits-on map."""
+        edges: dict[int, set[int]] = {}
+        waits: dict[int, str] = {}
+        for proc, pid in self._pids.items():
+            if not proc.is_alive:
+                continue
+            blocked, pids = self._deps(proc._target)
+            if blocked and pids:
+                edges[pid] = pids
+                waits[pid] = describe_event(proc._target)
+        return edges, waits
+
+    def scan_deadlocks(self) -> list[dict]:
+        """Build the wait-for graph over blocked processes; report cycles."""
+        edges, waits = self.wait_graph()
+        new: list[dict] = []
+        for cycle in find_cycles(edges):
+            sig = frozenset(cycle)
+            if sig in self._deadlock_sigs:
+                continue
+            self._deadlock_sigs.add(sig)
+            finding = {
+                "time": self.env.now if self.env is not None else 0.0,
+                "cycle": [
+                    {"process": self._names[p] if p < len(self._names) else str(p),
+                     "waiting_on": waits.get(p, "?")}
+                    for p in cycle
+                ],
+            }
+            self.deadlocks.append(finding)
+            new.append(finding)
+        return new
+
+    def check_stall(self) -> list[dict]:
+        """After a run: live processes nothing can ever wake."""
+        if self.env is None or self.env._queue:
+            return []
+        found: list[dict] = []
+        for proc, pid in self._pids.items():
+            if not proc.is_alive or getattr(proc, "daemon", False):
+                continue
+            found.append({
+                "time": self.env.now,
+                "process": proc.name,
+                "waiting_on": describe_event(proc._target),
+            })
+        if found:
+            self.stalls.extend(found)
+        return found
+
+    def finalize(self) -> None:
+        """End-of-run sweep: one last deadlock scan plus the stall check."""
+        self.scan_deadlocks()
+        self.check_stall()
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> dict:
+        conflicts = []
+        for sig, (count, first, examples) in self.conflicts.items():
+            label, kind_a, name_a, kind_b, name_b = sig
+            conflicts.append({
+                "object": label,
+                "access_a": f"{name_a}.{kind_a}",
+                "access_b": f"{name_b}.{kind_b}",
+                "count": count,
+                "first_time": round(first, 9),
+                "examples": examples,
+            })
+        conflicts.sort(key=lambda c: (-c["count"], c["object"], c["access_a"]))
+        return {
+            "processes": len(self._names) - 1,
+            "conflict_signatures": len(conflicts),
+            "conflict_events": sum(c["count"] for c in conflicts),
+            "conflicts": conflicts,
+            "deadlocks": self.deadlocks,
+            "stalls": self.stalls,
+        }

@@ -1,0 +1,352 @@
+"""DPOR-lite schedule permutation driver.
+
+Re-runs seeded :mod:`repro.perf` scenarios under N permuted same-instant
+schedules (:class:`~repro.sim.RandomTiebreakPolicy`) and checks that the
+simulation's *outcome* does not depend on layer-3 ordering (see the
+ordering contract in ``repro.sim.kernel``).  The gate distinguishes two
+headline classes:
+
+* **conserved keys** — counts, byte totals, job/file tallies.  These
+  must be byte-identical under every permutation; any drift is an
+  *unexplained divergence* and fails the gate (it means the simulation
+  computes a different answer depending on arbitrary tie-break order —
+  the restart-dedupe / WatchDog bug class).
+* **timing keys** — end times, durations, peaks, deviations.  Genuinely
+  schedule-dependent quantities (two jobs finishing at the same instant
+  dispatch their successors in either order, shifting completion
+  times).  A timing divergence is tolerated only when the minimizer can
+  mechanically attribute it to a same-``(time, priority)`` tie-break
+  pair — the *first diverging event pair* — in which case it is
+  reported as *explained*.  A divergence whose first differing pops are
+  **not** an equal-instant pair would mean the permuted policy changed
+  something layers 1-2 should have pinned, and fails the gate too.
+
+Minimization protocol (per diverging permutation, first one per
+scenario by default): run base + permuted schedules once more with
+digest recorders (crc32 per pop), locate the first differing pop index,
+then run both once more recording a +/-3 pop window of full event
+descriptions around that index.  Four extra runs, no full-schedule
+retention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+from zlib import crc32
+
+from repro.analysis.races.detector import RaceDetector, ScheduleRecorder
+from repro.sim.kernel import (
+    RandomTiebreakPolicy,
+    _mix64,
+    set_default_hb_recorder,
+    set_default_schedule_policy,
+)
+
+__all__ = [
+    "classify_headline_key",
+    "derive_seed",
+    "sanitize_scenario",
+    "sanitize_soak",
+    "split_headline",
+]
+
+#: substrings marking a headline key as schedule-dependent *timing* data
+TIMING_MARKERS = (
+    "time",
+    "duration",
+    "deviation",
+    "peak",
+    "latency",
+    "wait",
+    "in_flight",
+    "rate",
+    "gbps",
+    "throughput",
+)
+
+
+def classify_headline_key(key: str) -> str:
+    k = key.lower()
+    return "timing" if any(m in k for m in TIMING_MARKERS) else "conserved"
+
+
+def split_headline(headline: dict) -> tuple[dict, dict]:
+    """(conserved, timing) partitions of a scenario headline."""
+    conserved: dict = {}
+    timing: dict = {}
+    for key, val in headline.items():
+        (timing if classify_headline_key(key) == "timing" else conserved)[key] = val
+    return conserved, timing
+
+
+def derive_seed(base_seed: int, name: str, k: int) -> int:
+    """Deterministic per-(scenario, permutation) tie-break seed."""
+    return _mix64(base_seed ^ crc32(name.encode("utf-8")), k)
+
+
+# ---------------------------------------------------------------------------
+# single-run plumbing
+# ---------------------------------------------------------------------------
+
+def _run_scenario(
+    name: str,
+    policy_seed: Optional[int],
+    recorder_factory: Optional[Callable[[], Any]] = None,
+) -> tuple[dict, list]:
+    """One scenario run under a tie-break policy, returning
+    (headline, recorders).  ``policy_seed=None`` runs the FIFO baseline.
+    *recorder_factory* builds one recorder per Environment the scenario
+    creates (some scenarios build several)."""
+    from repro.perf import SCENARIOS, _ensure_scenarios_loaded
+
+    _ensure_scenarios_loaded()
+    fn = SCENARIOS[name]
+    recorders: list = []
+
+    def hb_factory(env):
+        rec = recorder_factory()
+        rec.bind(env)
+        recorders.append(rec)
+        return rec
+
+    set_default_schedule_policy(
+        None if policy_seed is None else (lambda: RandomTiebreakPolicy(policy_seed))
+    )
+    set_default_hb_recorder(hb_factory if recorder_factory is not None else None)
+    try:
+        out = fn()
+    finally:
+        set_default_schedule_policy(None)
+        set_default_hb_recorder(None)
+    return dict(out.headline), recorders
+
+
+def _first_digest_diff(
+    base: list[ScheduleRecorder], perm: list[ScheduleRecorder]
+) -> Optional[tuple[int, int]]:
+    """(env index, pop index) of the first differing pop, or None."""
+    for env_idx in range(max(len(base), len(perm))):
+        if env_idx >= len(base) or env_idx >= len(perm):
+            return env_idx, 0
+        a, b = base[env_idx].digests, perm[env_idx].digests
+        n = min(len(a), len(b))
+        for i in range(n):
+            if a[i] != b[i]:
+                return env_idx, i
+        if len(a) != len(b):
+            return env_idx, n
+    return None
+
+
+def minimize_divergence(name: str, policy_seed: int, window: int = 3) -> Optional[dict]:
+    """Locate and describe the first diverging event pair between the
+    FIFO baseline and permutation *policy_seed* of scenario *name*."""
+    _, base_rec = _run_scenario(name, None, ScheduleRecorder)
+    _, perm_rec = _run_scenario(name, policy_seed, ScheduleRecorder)
+    hit = _first_digest_diff(base_rec, perm_rec)
+    if hit is None:
+        return None
+    env_idx, pop_idx = hit
+    lo, hi = max(0, pop_idx - window), pop_idx + window + 1
+
+    def _window_recorders(seed):
+        _, recs = _run_scenario(name, seed, lambda: ScheduleRecorder(window=(lo, hi)))
+        return recs[env_idx].entries if env_idx < len(recs) else []
+
+    base_win = _window_recorders(None)
+    perm_win = _window_recorders(policy_seed)
+    base_at = next((e for e in base_win if e[0] == pop_idx), None)
+    perm_at = next((e for e in perm_win if e[0] == pop_idx), None)
+    same_instant = (
+        base_at is not None
+        and perm_at is not None
+        and base_at[1] == perm_at[1]  # time
+        and base_at[2] == perm_at[2]  # priority
+    )
+    fmt = lambda e: {  # noqa: E731 - tiny local shaper
+        "pop": e[0], "time": e[1], "priority": e[2], "event": e[3],
+    }
+    return {
+        "env": env_idx,
+        "pop_index": pop_idx,
+        "same_instant_pair": same_instant,
+        "base_event": fmt(base_at) if base_at else None,
+        "permuted_event": fmt(perm_at) if perm_at else None,
+        "base_window": [fmt(e) for e in base_win],
+        "permuted_window": [fmt(e) for e in perm_win],
+    }
+
+
+# ---------------------------------------------------------------------------
+# per-scenario sanitizer
+# ---------------------------------------------------------------------------
+
+def sanitize_scenario(
+    name: str,
+    permutations: int = 10,
+    seed: int = 0,
+    detect: bool = True,
+    minimize: bool = True,
+    scan_interval: int = 5000,
+) -> dict:
+    """Full sanitizer pass over one perf scenario.
+
+    Returns a report dict; ``report["ok"]`` is False on any unexplained
+    divergence, deadlock or stall.  Conflicts are informational (the
+    permutation gate is what proves them benign).
+    """
+    base_headline, detectors = _run_scenario(
+        name,
+        None,
+        (lambda: RaceDetector(scan_interval=scan_interval)) if detect else None,
+    )
+    dynamic: dict = {}
+    if detect:
+        for det in detectors:
+            det.finalize()
+        dynamic = _merge_dynamic([det.report() for det in detectors])
+
+    conserved_base, timing_base = split_headline(base_headline)
+    divergences: list[dict] = []
+    minimized = False
+    for k in range(1, permutations + 1):
+        pseed = derive_seed(seed, name, k)
+        perm_headline, _ = _run_scenario(name, pseed)
+        conserved_perm, timing_perm = split_headline(perm_headline)
+        diff_cons = _diff(conserved_base, conserved_perm)
+        diff_time = _diff(timing_base, timing_perm)
+        if not diff_cons and not diff_time:
+            continue
+        record = {
+            "permutation": k,
+            "tiebreak_seed": pseed,
+            "conserved_diffs": diff_cons,
+            "timing_diffs": diff_time,
+            "explained": False,
+            "first_divergence": None,
+        }
+        if minimize and not minimized:
+            record["first_divergence"] = minimize_divergence(name, pseed)
+            minimized = True
+        first = record["first_divergence"]
+        # A divergence is *explained* when nothing conserved moved and
+        # (if minimized) the first schedule difference is a legal
+        # same-(time, priority) tie-break pair.
+        record["explained"] = not diff_cons and (
+            first is None or bool(first.get("same_instant_pair"))
+        )
+        divergences.append(record)
+
+    unexplained = [d for d in divergences if not d["explained"]]
+    report = {
+        "scenario": name,
+        "permutations": permutations,
+        "seed": seed,
+        "headline": base_headline,
+        "conserved_keys": sorted(conserved_base),
+        "timing_keys": sorted(timing_base),
+        "divergences": divergences,
+        "unexplained_divergences": len(unexplained),
+        "dynamic": dynamic,
+        "deadlocks": len(dynamic.get("deadlocks", [])),
+        "stalls": len(dynamic.get("stalls", [])),
+    }
+    report["ok"] = (
+        not unexplained
+        and not dynamic.get("deadlocks")
+        and not dynamic.get("stalls")
+    )
+    return report
+
+
+def _diff(base: dict, perm: dict) -> dict:
+    out = {}
+    for key in sorted(set(base) | set(perm)):
+        a, b = base.get(key), perm.get(key)
+        if a != b:
+            out[key] = {"base": a, "permuted": b}
+    return out
+
+
+def _merge_dynamic(reports: list[dict]) -> dict:
+    """Fold per-Environment detector reports into one (multi-env scenarios)."""
+    if not reports:
+        return {}
+    if len(reports) == 1:
+        return reports[0]
+    merged = {
+        "processes": sum(r.get("processes", 0) for r in reports),
+        "conflicts": [c for r in reports for c in r.get("conflicts", [])],
+        "deadlocks": [d for r in reports for d in r.get("deadlocks", [])],
+        "stalls": [s for r in reports for s in r.get("stalls", [])],
+    }
+    merged["conflicts"].sort(
+        key=lambda c: (-c["count"], c["object"], c["access_a"])
+    )
+    merged["conflict_signatures"] = len(merged["conflicts"])
+    merged["conflict_events"] = sum(c["count"] for c in merged["conflicts"])
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# scheduler chaos-soak sanitizer
+# ---------------------------------------------------------------------------
+
+def sanitize_soak(permutations: int = 2, seed: int = 0) -> dict:
+    """Deadlock/stall + invariant check on the scheduler chaos soak.
+
+    The soak's summary counts are *not* conserved under permutation by
+    design (chaos victims are picked from schedule-dependent system
+    state), so the gate here is the service's own invariant list: it
+    must stay empty under FIFO and under every permuted schedule, and
+    the FIFO run must show no deadlock or stall.
+    """
+    from repro.scheduler.scenario import run_soak
+
+    detectors: list[RaceDetector] = []
+
+    def hb_factory(env):
+        det = RaceDetector()
+        det.bind(env)
+        detectors.append(det)
+        return det
+
+    set_default_hb_recorder(hb_factory)
+    try:
+        base = run_soak()
+    finally:
+        set_default_hb_recorder(None)
+    for det in detectors:
+        det.finalize()
+    dynamic = _merge_dynamic([det.report() for det in detectors])
+
+    runs = [{"schedule": "fifo", "violations": list(base["violations"])}]
+    for k in range(1, permutations + 1):
+        pseed = derive_seed(seed, "scheduler_soak", k)
+        set_default_schedule_policy(lambda: RandomTiebreakPolicy(pseed))
+        try:
+            perm = run_soak()
+        finally:
+            set_default_schedule_policy(None)
+        runs.append({
+            "schedule": f"random:{pseed}",
+            "violations": list(perm["violations"]),
+        })
+
+    all_violations = [v for r in runs for v in r["violations"]]
+    report = {
+        "scenario": "scheduler_soak",
+        "permutations": permutations,
+        "seed": seed,
+        "runs": runs,
+        "dynamic": dynamic,
+        "deadlocks": len(dynamic.get("deadlocks", [])),
+        "stalls": len(dynamic.get("stalls", [])),
+        "violations": len(all_violations),
+    }
+    report["ok"] = (
+        not all_violations
+        and not dynamic.get("deadlocks")
+        and not dynamic.get("stalls")
+    )
+    return report

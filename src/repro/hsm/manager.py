@@ -96,7 +96,8 @@ class HsmManager:
         for n in self.nodes:
             q = Store(env)
             self._queues[n] = q
-            env.process(self._recall_daemon(n, q), name=f"hsm-recalld-{n}")
+            env.process(self._recall_daemon(n, q), name=f"hsm-recalld-{n}",
+                        daemon=True)
         # stats
         self.files_migrated = 0
         self.bytes_migrated = 0.0

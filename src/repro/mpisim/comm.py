@@ -64,6 +64,13 @@ class SimComm:
         #: opt-in :class:`repro.analysis.monitor.InvariantMonitor` hook;
         #: observes every send and every posted receive when set
         self.monitor = None
+        #: same-instant delivery batches keyed (src, dst, deliver_at) —
+        #: messages of one (src, dst) pair sent at the same instant ride a
+        #: single delivery timer and land in send order, so the MPI
+        #: non-overtaking guarantee holds under *any* kernel tie-break
+        #: policy (permuted schedules may reorder cross-source arrivals,
+        #: never same-source ones)
+        self._inflight: dict[tuple[int, int, float], list[Message]] = {}
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
@@ -79,6 +86,9 @@ class SimComm:
         msg = Message(src, dst, tag, payload)
         if self.monitor is not None:
             self.monitor.on_send(self, msg)
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_comm_send(self, msg, self.latency)
         tr = self.env.trace
         if tr.enabled:
             tr.instant("comm:send", tid=f"rank{src}", cat="comm",
@@ -88,8 +98,23 @@ class SimComm:
         # instead of a Process + init event + Timeout + put event.
         mailbox = self._mailboxes[dst]
         if self.latency > 0:
-            self.env.call_later(self.latency, lambda: mailbox.put_nowait(msg))
+            key = (src, dst, self.env.now + self.latency)
+            batch = self._inflight.get(key)
+            if batch is not None:
+                batch.append(msg)  # rides the batch's existing timer
+            else:
+                self._inflight[key] = batch = [msg]
+                self.env.call_later(
+                    self.latency, lambda: self._deliver(key, batch, mailbox)
+                )
         else:
+            mailbox.put_nowait(msg)
+
+    def _deliver(
+        self, key: tuple[int, int, float], batch: list[Message], mailbox
+    ) -> None:
+        del self._inflight[key]
+        for msg in batch:
             mailbox.put_nowait(msg)
 
     def recv(
@@ -112,6 +137,9 @@ class SimComm:
         get = self._mailboxes[rank].get(_match)
         if self.monitor is not None:
             self.monitor.on_recv(self, rank, get)
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_comm_recv(self, rank, get)
         return get
 
     def pending(self, rank: int) -> int:

@@ -7,8 +7,9 @@ determinism guarantee.  Scenario groups:
 
 * ``fabric_churn`` / ``fabric_sparse`` — the fair-share reallocation hot
   path in isolation (the bottleneck of fig8-fig11 and A1-A8);
-* ``fig10_proxy`` / ``a1_proxy`` — reduced-scale replicas of the two
-  fabric-heaviest paper benchmarks, end-to-end through PFTool;
+* ``fig8_proxy`` / ``fig10_proxy`` / ``a1_proxy`` — reduced-scale
+  replicas of paper benchmarks (files-per-job spread, overlapping jobs
+  under background load, huge-file N-to-1), end-to-end through PFTool;
 * ``store_churn`` / ``mpisim_fanout`` — kernel queue and message-plane
   churn (Store/FilterStore settle loops, delivery timers);
 * ``s1_scheduler`` — the archive-as-a-service multi-tenant flood
@@ -201,6 +202,67 @@ def fig10_proxy(seed: int = 2009) -> ScenarioOutcome:
         headline={
             "jobs_done": total["jobs_done"],
             "files_copied": total["files"],
+            "bytes_copied": total["bytes"],
+            "end_time": round(env.now, 9),
+        },
+        fabrics=(fab,),
+    )
+
+
+@scenario("fig8_proxy")
+def fig8_proxy(seed: int = 2009) -> ScenarioOutcome:
+    """Reduced Figure-8 workload: files-per-job spread through PFTool.
+
+    Six overlapping archive jobs whose file counts span two-plus
+    decades (1 .. ~120 files, drawn from the calibrated open-science
+    trace), all through the full simulated site — the figure's point is
+    the per-job file-count spread, so the headline carries the spread
+    alongside the usual conservation totals.
+    """
+    from repro.archive import ArchiveParams, ParallelArchiveSystem
+    from repro.pftool import PftoolConfig
+    from repro.workloads import generate_open_science_trace
+    from repro.workloads.generators import materialize_job
+
+    env = Environment()
+    system = ParallelArchiveSystem(env, ArchiveParams())
+    fab = system.topology.fabric
+    trace = generate_open_science_trace(seed=seed)
+    rng = RandomStreams(seed).stream("fig8-proxy")
+    scales = (1, 4, 12, 30, 60, 120)
+    jobs = trace.jobs[: len(scales)]
+
+    total = {"bytes": 0, "files": 0, "jobs_done": 0}
+    spread = {"min": None, "max": 0}
+
+    def one_job(k, job, start, n_files):
+        yield env.timeout(start)
+        sj = job.scaled(n_files)
+        materialize_job(system.scratch_fs, sj, f"/jobs/f{k:02d}")
+        cfg = PftoolConfig(
+            num_workers=int(rng.integers(4, 9)), num_readdir=2,
+            num_tapeprocs=0, stat_batch=32, copy_batch=8,
+        )
+        stats = yield system.archive(f"/jobs/f{k:02d}", f"/arc/f{k:02d}", cfg).done
+        total["bytes"] += stats.bytes_copied
+        total["files"] += stats.files_copied
+        total["jobs_done"] += 1
+        lo = spread["min"]
+        spread["min"] = stats.files_copied if lo is None else min(lo, stats.files_copied)
+        spread["max"] = max(spread["max"], stats.files_copied)
+
+    start = 0.0
+    for k, (job, n_files) in enumerate(zip(jobs, scales)):
+        start += float(rng.exponential(8.0))
+        env.process(one_job(k, job, start, n_files))
+    env.run()
+    return ScenarioOutcome(
+        env=env,
+        headline={
+            "jobs_done": total["jobs_done"],
+            "files_copied": total["files"],
+            "files_per_job_min": spread["min"] or 0,
+            "files_per_job_max": spread["max"],
             "bytes_copied": total["bytes"],
             "end_time": round(env.now, 9),
         },

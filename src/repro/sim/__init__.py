@@ -35,8 +35,12 @@ from repro.sim.kernel import (
     Interrupt,
     Process,
     ProcessKilled,
+    RandomTiebreakPolicy,
+    SchedulePolicy,
     SimulationError,
     Timeout,
+    set_default_hb_recorder,
+    set_default_schedule_policy,
 )
 from repro.sim.resources import (
     Container,
@@ -62,9 +66,13 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "RandomStreams",
+    "RandomTiebreakPolicy",
     "Resource",
+    "SchedulePolicy",
     "SimulationError",
     "Store",
     "StoreGet",
     "Timeout",
+    "set_default_hb_recorder",
+    "set_default_schedule_policy",
 ]

@@ -3,15 +3,43 @@
 Design notes
 ------------
 * Time is a ``float`` in **seconds** everywhere in :mod:`repro`.
-* The event queue is a binary heap keyed on ``(time, priority, seq)`` where
-  ``seq`` is a monotonically increasing tie-breaker, so execution order is
-  fully deterministic for a given program — a requirement for reproducible
-  benchmarks.
+* The event queue is a binary heap keyed on ``(time, priority, tiebreak)``.
 * Processes are plain Python generators.  A process yields an :class:`Event`
   to suspend until the event fires; the event's value is sent back into the
   generator (or its exception thrown in).
 * Interrupts follow SimPy semantics: :meth:`Process.interrupt` throws
   :class:`Interrupt` into the process at its current yield point.
+
+Ordering contract
+-----------------
+Execution order is fully deterministic for a given program and a given
+:class:`SchedulePolicy` — a requirement for reproducible benchmarks.
+The guarantees, from strongest to weakest:
+
+1. **Time** always wins: an event at an earlier simulated time runs
+   before any event at a later time.
+2. **Priority** breaks time ties: at equal times, ``URGENT`` events
+   (process starts, interrupt delivery) run before ``NORMAL`` ones.
+3. **Tie-break** breaks ``(time, priority)`` ties and is the *only*
+   layer a program may not rely on.  The default policy is FIFO (the
+   monotonically increasing schedule sequence number ``seq``), which
+   pins a single canonical order.  A seeded
+   :class:`RandomTiebreakPolicy` instead permutes same-``(time,
+   priority)`` events deterministically per seed; the schedule
+   sanitizer (:mod:`repro.analysis.races`) re-runs scenarios under
+   many such permutations to prove simulation outcomes do not depend
+   on layer 3.  Anything that must stay ordered at equal instants has
+   to encode it in layers 1-2 or in its own data structure — e.g.
+   :class:`repro.mpisim.SimComm` preserves per-``(src, dst)`` message
+   order (the MPI non-overtaking guarantee) by batching same-instant
+   deliveries, and :class:`repro.sim.resources` wait queues are FIFO
+   in arrival order regardless of how the grants interleave.
+
+The policy is fixed for the life of an :class:`Environment` (pass it
+to the constructor, or install a process-wide default with
+:func:`set_default_schedule_policy` for code that builds its own
+environments); swapping policies mid-run would interleave incomparable
+heap keys.
 """
 
 from __future__ import annotations
@@ -29,8 +57,12 @@ __all__ = [
     "Interrupt",
     "Process",
     "ProcessKilled",
+    "RandomTiebreakPolicy",
+    "SchedulePolicy",
     "SimulationError",
     "Timeout",
+    "set_default_hb_recorder",
+    "set_default_schedule_policy",
 ]
 
 #: Event scheduling priorities (lower runs first at equal times).
@@ -40,6 +72,95 @@ NORMAL = 1
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (double-trigger, negative delay...)."""
+
+
+class SchedulePolicy:
+    """Tie-break policy for events at equal ``(time, priority)``.
+
+    The base class is FIFO: events run in scheduling order (``seq``).
+    Subclasses override :meth:`key` to return any totally ordered,
+    *unique* key per ``seq`` — uniqueness matters because heap entries
+    fall through to comparing :class:`Event` objects otherwise.
+    """
+
+    name = "fifo"
+
+    def key(self, seq: int) -> Any:
+        """Heap tie-break key for the event with schedule number *seq*."""
+        return seq
+
+
+#: shared instance returned by Environment.schedule_policy for the fast path
+_FIFO_POLICY = SchedulePolicy()
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(seed: int, seq: int) -> int:
+    """splitmix64 of (seed, seq): a deterministic, well-mixed 64-bit hash."""
+    z = (seq + 0x9E3779B97F4A7C15 * (seed + 1)) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class RandomTiebreakPolicy(SchedulePolicy):
+    """Seeded permutation of same-``(time, priority)`` events.
+
+    Each scheduled event gets the tie-break key ``(mix64(seed, seq),
+    seq)``: events at equal instants run in hash order — a different
+    deterministic permutation per *seed* — while the trailing ``seq``
+    keeps keys unique.  Used by the schedule sanitizer to explore the
+    legal reorderings the FIFO default happens to pin down.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def key(self, seq: int) -> Any:
+        return (_mix64(self.seed, seq), seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RandomTiebreakPolicy seed={self.seed}>"
+
+
+#: process-wide default policy factory consulted by Environment.__init__
+#: when no explicit policy is passed (None means FIFO)
+_default_policy_factory: Optional[Callable[[], SchedulePolicy]] = None
+
+
+def set_default_schedule_policy(
+    factory: Optional[Callable[[], SchedulePolicy]],
+) -> None:
+    """Install (or clear, with ``None``) the default schedule policy.
+
+    Environments constructed while a factory is installed ask it for
+    their tie-break policy — the hook the schedule permuter uses to
+    reach environments built deep inside scenario functions.
+    """
+    global _default_policy_factory
+    _default_policy_factory = factory
+
+
+#: process-wide default happens-before recorder factory; receives the new
+#: Environment, returns a recorder (installed as ``env.hb``) or None
+_default_hb_factory: Optional[Callable[["Environment"], Any]] = None
+
+
+def set_default_hb_recorder(
+    factory: Optional[Callable[["Environment"], Any]],
+) -> None:
+    """Install (or clear, with ``None``) the default hb-recorder factory.
+
+    Environments constructed while a factory is installed get
+    ``env.hb = factory(env)`` — how the schedule sanitizer attaches its
+    race detector / schedule recorder to environments built deep inside
+    scenario functions.  The factory may return None to skip an env.
+    """
+    global _default_hb_factory
+    _default_hb_factory = factory
 
 
 class ProcessKilled(SimulationError):
@@ -270,19 +391,24 @@ class Process(Event):
     :meth:`Environment.run` if nobody waits).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "daemon")
 
     def __init__(
         self,
         env: "Environment",
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
+        daemon: bool = False,
     ) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: daemon processes (perpetual service loops parked on a work
+        #: queue) are expected to outlive the simulation; the schedule
+        #: sanitizer's stall check skips them, like daemon threads
+        self.daemon = daemon
         #: event this process is currently waiting on (None when runnable)
         self._target: Optional[Event] = None
         init = Event(env)
@@ -290,6 +416,8 @@ class Process(Event):
         init._value = None
         init.callbacks.append(self._resume)
         env._schedule(init, URGENT)
+        if env.hb is not None:
+            env.hb.on_process(self)
 
     @property
     def is_alive(self) -> bool:
@@ -422,19 +550,29 @@ class Environment:
         "_active",
         "_crashed",
         "_call_pool",
+        "_policy",
         "events_processed",
         "peak_queue_len",
         "trace",
+        "hb",
     )
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        schedule_policy: Optional[SchedulePolicy] = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Any, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
         #: free-list of recycled :class:`_ScheduledCall` events
         self._call_pool: list[_ScheduledCall] = []
+        #: tie-break policy (None = FIFO fast path; see module docstring)
+        if schedule_policy is None and _default_policy_factory is not None:
+            schedule_policy = _default_policy_factory()
+        self._policy = schedule_policy
         #: total events popped by :meth:`step` (perf accounting)
         self.events_processed = 0
         #: high-water mark of the event heap (perf accounting)
@@ -442,6 +580,13 @@ class Environment:
         #: trace channel — NULL_CHANNEL (enabled=False) unless a
         #: :class:`repro.trace.Tracer` is installed when this env is built
         self.trace = _trace_channel_for(self)
+        #: happens-before recorder hook — None unless a
+        #: :class:`repro.analysis.races` recorder is installed on this env;
+        #: when set, its ``on_pop``/``on_process``/store/resource hooks see
+        #: every kernel event (the schedule sanitizer's vantage point)
+        self.hb = None
+        if _default_hb_factory is not None:
+            self.hb = _default_hb_factory(self)
 
     # -- clock ---------------------------------------------------------
     @property
@@ -453,6 +598,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active
 
+    @property
+    def schedule_policy(self) -> SchedulePolicy:
+        """The tie-break policy in force (FIFO unless overridden)."""
+        return self._policy if self._policy is not None else _FIFO_POLICY
+
     # -- factories ------------------------------------------------------
     def event(self) -> Event:
         return Event(self)
@@ -461,10 +611,13 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(
-        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+        daemon: bool = False,
     ) -> Process:
         """Start *generator* as a new process."""
-        return Process(self, generator, name)
+        return Process(self, generator, name, daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -494,8 +647,9 @@ class Environment:
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
+        key = self._seq if self._policy is None else self._policy.key(self._seq)
         q = self._queue
-        heapq.heappush(q, (self._now + delay, priority, self._seq, event))
+        heapq.heappush(q, (self._now + delay, priority, key, event))
         if len(q) > self.peak_queue_len:
             self.peak_queue_len = len(q)
 
@@ -511,9 +665,11 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        t, _prio, _seq, event = heapq.heappop(self._queue)
+        t, _prio, _key, event = heapq.heappop(self._queue)
         self._now = t
         self.events_processed += 1
+        if self.hb is not None:
+            self.hb.on_pop(t, _prio, event)
         if type(event) is _ScheduledCall:
             # Kernel-owned timer: invoke and recycle, no callback machinery.
             fn = event._fn

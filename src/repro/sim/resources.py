@@ -52,6 +52,9 @@ class Request(Event):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_request(resource, self)
         resource._enqueue(self)
 
     def __enter__(self) -> "Request":
@@ -109,6 +112,9 @@ class Resource:
         A pending (never-granted) request is cancelled lazily: its callback
         list is cleared and :meth:`_grant` skips it when it surfaces.
         """
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_release(self, request)
         try:
             self.users.remove(request)
         except ValueError:
@@ -262,6 +268,9 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_store_put(self, item)
         ev = Event(self.env)
         self._putq.append((ev, item))
         self._settle()
@@ -276,12 +285,18 @@ class Store:
         """
         if len(self.items) >= self.capacity:
             return False
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_store_put(self, item)
         self._do_put(item)
         self._settle()
         return True
 
     def get(self) -> StoreGet:
         ev = StoreGet(self)
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_store_get(self, ev)
         self._getq.append(ev)
         self._settle()
         return ev
@@ -373,6 +388,9 @@ class FilterStore(Store):
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # noqa: A002
         ev = _FilterGet(self, filter)
+        hb = self.env.hb
+        if hb is not None:
+            hb.on_store_get(self, ev)
         self._getq.append(ev)
         self._settle()
         return ev

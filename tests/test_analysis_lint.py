@@ -377,3 +377,171 @@ def test_ra007_only_covers_recovery_protocol_paths(tmp_path):
         name="repro/hsm/reconcile_like.py",  # legacy walk stays exempt
     )
     assert result.findings == []
+
+
+# ---------------------------------------------------------------- RA008
+def test_ra008_flags_module_global_written_by_two_processes(tmp_path):
+    from repro.analysis.rules_races import SharedMutableStateRule
+
+    result = lint_source(
+        tmp_path,
+        "registry = {}\n"
+        "seen = set()\n"
+        "def worker(env):\n"
+        "    yield env.timeout(1)\n"
+        "    registry['w'] = 1\n"
+        "    seen.add('w')\n"
+        "def manager(env):\n"
+        "    yield env.timeout(1)\n"
+        "    registry['m'] = 2\n"
+        "    seen.add('m')\n",
+        [SharedMutableStateRule()],
+    )
+    names = {f.message.split("'")[1] for f in result.findings}
+    assert names == {"registry", "seen"}
+    assert len(result.findings) == 4  # every write site is a finding
+
+
+def test_ra008_class_attribute_counts_as_shared(tmp_path):
+    from repro.analysis.rules_races import SharedMutableStateRule
+
+    result = lint_source(
+        tmp_path,
+        "class Hub:\n"
+        "    waiters = []\n"
+        "def a(env):\n"
+        "    yield env.timeout(1)\n"
+        "    Hub.waiters.append(1)\n"
+        "def b(env):\n"
+        "    yield env.timeout(1)\n"
+        "    Hub.waiters.append(2)\n",
+        [SharedMutableStateRule()],
+    )
+    assert len(result.findings) == 2
+    assert "Hub.waiters" in result.findings[0].message
+
+
+def test_ra008_single_writer_and_locals_are_clean(tmp_path):
+    from repro.analysis.rules_races import SharedMutableStateRule
+
+    result = lint_source(
+        tmp_path,
+        "registry = {}\n"
+        "def only_writer(env):\n"
+        "    yield env.timeout(1)\n"
+        "    registry['k'] = 1\n"
+        "    registry['k2'] = 2\n"
+        "def shadowing(env):\n"
+        "    registry = {}\n"  # local shadows the global: not shared
+        "    yield env.timeout(1)\n"
+        "    registry['k'] = 3\n"
+        "def plain_reader(env):\n"
+        "    return registry.get('k')\n",  # not a generator, and a read
+        [SharedMutableStateRule()],
+    )
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------- RA009
+def test_ra009_flags_bare_blocking_wait_in_service_code(tmp_path):
+    from repro.analysis.rules_races import UnboundedServiceWaitRule
+
+    result = lint_source(
+        tmp_path,
+        "def serve(self, env):\n"
+        "    while True:\n"
+        "        msg = yield self.comm.recv(0)\n"
+        "        item = yield self.queue.get()\n",
+        [UnboundedServiceWaitRule()],
+        name="repro/scheduler/service_like.py",
+    )
+    assert len(result.findings) == 2
+    assert "timeout or cancellation" in result.findings[0].message
+
+
+def test_ra009_timeout_race_and_non_service_paths_are_clean(tmp_path):
+    from repro.analysis.rules_races import UnboundedServiceWaitRule
+
+    clean = (
+        "def serve(self, env):\n"
+        "    while True:\n"
+        "        got = yield self.queue.get() | env.timeout(5)\n"
+        "        yield env.timeout(1)\n"
+    )
+    result = lint_source(
+        tmp_path,
+        clean,
+        [UnboundedServiceWaitRule()],
+        name="repro/scheduler/service_like.py",
+    )
+    assert result.findings == []
+    # the same bare wait outside service paths is out of scope
+    result = lint_source(
+        tmp_path,
+        "def worker(self, env):\n"
+        "    msg = yield self.comm.recv(1)\n",
+        [UnboundedServiceWaitRule()],
+        name="repro/pftool/worker_like.py",
+    )
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------- RA010
+def test_ra010_flags_zero_delay_without_priority(tmp_path):
+    from repro.analysis.rules_races import UnorderedZeroDelayRule
+
+    result = lint_source(
+        tmp_path,
+        "def kick(env, fn):\n"
+        "    env.call_later(0, fn)\n"
+        "    env.call_later(0.0, fn)\n",
+        [UnorderedZeroDelayRule()],
+    )
+    assert len(result.findings) == 2
+    assert "priority=" in result.findings[0].message
+
+
+def test_ra010_pinned_priority_or_real_delay_is_clean(tmp_path):
+    from repro.analysis.rules_races import UnorderedZeroDelayRule
+
+    result = lint_source(
+        tmp_path,
+        "def kick(env, fn):\n"
+        "    env.call_later(0, fn, priority=0)\n"
+        "    env.call_later(1.5, fn)\n",
+        [UnorderedZeroDelayRule()],
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------- CLI formats / exits
+def test_cli_sarif_output_is_valid_sarif(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text(
+        "def kick(env, fn):\n"
+        "    env.call_later(0, fn)\n"
+    )
+    code = main([str(tmp_path), "--format", "sarif", "--select", "RA010"])
+    assert code == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"RA001", "RA008", "RA009", "RA010"} <= rule_ids
+    (finding,) = run["results"]
+    assert finding["ruleId"] == "RA010"
+    loc = finding["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 2
+
+
+def test_cli_exit_2_when_linter_crashes(tmp_path, monkeypatch, capsys):
+    import repro.analysis.lint as lint_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("synthetic rule crash")
+
+    monkeypatch.setattr(lint_mod, "run_lint", boom)
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    assert lint_mod.main([str(tmp_path)]) == 2
+    assert "synthetic rule crash" in capsys.readouterr().err

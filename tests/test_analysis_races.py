@@ -1,0 +1,245 @@
+"""Unit and property tests for the schedule sanitizer.
+
+Covers the vector-clock algebra, wait-for-graph cycle detection, the
+happens-before conflict core on hand-built simulations, deadlock/stall
+findings, and the permutation gate: K1 golden scenarios must produce
+byte-identical headlines under seeded same-instant permutations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.races import (
+    RaceDetector,
+    VectorClock,
+    classify_headline_key,
+    derive_seed,
+    find_cycles,
+    sanitize_scenario,
+    split_headline,
+)
+from repro.analysis.races.permute import _run_scenario
+from repro.sim import Environment, Resource, Store
+
+
+# ------------------------------------------------------------ vector clocks
+def test_vector_clock_tick_is_per_pid_monotone():
+    vc = VectorClock()
+    assert vc.tick(1) == 1
+    assert vc.tick(1) == 2
+    assert vc.tick(2) == 1
+    assert vc.get(1) == 2
+    assert vc.get(2) == 1
+    assert vc.get(99) == 0
+
+
+def test_vector_clock_merge_takes_componentwise_max():
+    a, b = VectorClock(), VectorClock()
+    a.tick(1), a.tick(1), a.tick(3)
+    b.tick(1), b.tick(2)
+    a.merge(b.c)
+    assert a.get(1) == 2 and a.get(2) == 1 and a.get(3) == 1
+
+
+def test_vector_clock_observe_never_rewinds():
+    vc = VectorClock()
+    vc.observe(5, 7)
+    assert vc.get(5) == 7
+    vc.observe(5, 3)  # stale epoch must not rewind
+    assert vc.get(5) == 7
+    assert vc.dominates(5, 7)
+    assert not vc.dominates(5, 8)
+
+
+def test_vector_clock_compare_orders_and_concurrency():
+    a, b = VectorClock(), VectorClock()
+    assert a.compare(b) == 0
+    a.tick(1)
+    assert a.compare(b) == 1 and b.compare(a) == -1
+    b.tick(2)
+    assert a.compare(b) is None  # concurrent: neither dominates
+
+
+def test_vector_clock_snapshot_drops_dead_pids():
+    vc = VectorClock()
+    vc.tick(1), vc.tick(2)
+    snap = vc.snapshot(drop={2})
+    assert snap == {1: 1}
+    snap[1] = 99
+    assert vc.get(1) == 1  # snapshot is detached
+
+
+# ------------------------------------------------------------- cycle finder
+def test_find_cycles_reports_two_cycle():
+    cycles = find_cycles({1: {2}, 2: {1}})
+    assert len(cycles) == 1
+    assert set(cycles[0]) == {1, 2}
+
+
+def test_find_cycles_self_loop_and_acyclic():
+    assert find_cycles({1: {1}}) == [[1]]
+    # diamond: acyclic
+    assert find_cycles({1: {2, 3}, 2: {4}, 3: {4}, 4: set()}) == []
+
+
+def test_find_cycles_one_representative_per_knot():
+    # two disjoint 2-cycles -> exactly two findings
+    cycles = find_cycles({1: {2}, 2: {1}, 3: {4}, 4: {3}})
+    assert sorted(set(c) == {1, 2} or set(c) == {3, 4} for c in cycles) == [
+        True,
+        True,
+    ]
+
+
+# --------------------------------------------------------- detector harness
+def _detected_env():
+    env = Environment()
+    det = RaceDetector()
+    det.bind(env)
+    env.hb = det
+    return env, det
+
+
+def _pairs(det):
+    return {
+        (c["access_a"], c["access_b"])
+        for c in det.report()["conflicts"]
+    }
+
+
+def test_same_instant_unordered_puts_conflict():
+    env, det = _detected_env()
+    store = Store(env)
+
+    def writer(tag):
+        yield env.timeout(1)
+        store.put_nowait(tag)
+
+    env.process(writer("a"), name="wa")
+    env.process(writer("b"), name="wb")
+    env.run()
+    det.finalize()
+    assert ("wa.put", "wb.put") in _pairs(det)
+    assert det.report()["deadlocks"] == []
+
+
+def test_different_instants_do_not_conflict():
+    env, det = _detected_env()
+    store = Store(env)
+
+    def writer(tag, delay):
+        yield env.timeout(delay)
+        store.put_nowait(tag)
+
+    env.process(writer("a", 1), name="wa")
+    env.process(writer("b", 2), name="wb")
+    env.run()
+    det.finalize()
+    assert det.report()["conflicts"] == []
+
+
+def test_message_edge_orders_same_instant_accesses():
+    """A consumed item carries the producer's clock: the consumer's next
+    same-instant access to a store the producer also touched is ordered,
+    not a conflict."""
+    env, det = _detected_env()
+    mail = Store(env)
+    shared = Store(env)
+
+    def producer():
+        shared.put_nowait("p-first")
+        mail.put_nowait("token")
+        yield env.timeout(0)
+
+    def consumer():
+        yield mail.get()  # merges the producer's clock
+        shared.put_nowait("c-second")
+
+    env.process(producer(), name="prod")
+    env.process(consumer(), name="cons")
+    env.run()
+    det.finalize()
+    pairs = _pairs(det)
+    # the ordered put/put pair must NOT be reported...
+    assert ("prod.put", "cons.put") not in pairs
+    assert ("cons.put", "prod.put") not in pairs
+    # ...while the racy handoff itself (get posted before the clock
+    # merge) is legitimately schedule-sensitive and may appear.
+
+
+def test_abba_resource_deadlock_detected():
+    env, det = _detected_env()
+    ra, rb = Resource(env, capacity=1), Resource(env, capacity=1)
+
+    def locker(first, second, name):
+        req1 = first.request()
+        yield req1
+        yield env.timeout(1)
+        yield second.request()  # never granted: classic ABBA
+
+    env.process(locker(ra, rb, "p1"), name="p1")
+    env.process(locker(rb, ra, "p2"), name="p2")
+    env.run()
+    det.finalize()
+    assert len(det.deadlocks) == 1
+    procs = {hop["process"] for hop in det.deadlocks[0]["cycle"]}
+    assert procs == {"p1", "p2"}
+
+
+def test_stall_detected_and_daemon_exempt():
+    env, det = _detected_env()
+    store = Store(env)
+
+    def parked():
+        yield store.get()  # nothing will ever put
+
+    env.process(parked(), name="leaked-worker")
+    env.process(parked(), name="service-loop", daemon=True)
+    env.run()
+    det.finalize()
+    assert [s["process"] for s in det.stalls] == ["leaked-worker"]
+    assert det.deadlocks == []  # a bare StoreGet is a stall, not a cycle
+
+
+# ------------------------------------------------------------ permuter gate
+def test_classify_headline_keys():
+    assert classify_headline_key("files_copied") == "conserved"
+    assert classify_headline_key("bytes_copied") == "conserved"
+    assert classify_headline_key("end_time") == "timing"
+    assert classify_headline_key("peak_in_flight") == "timing"
+    cons, timing = split_headline({"jobs_done": 3, "end_time": 1.5})
+    assert cons == {"jobs_done": 3} and timing == {"end_time": 1.5}
+
+
+def test_derive_seed_is_deterministic_and_distinct():
+    assert derive_seed(0, "fig8_proxy", 1) == derive_seed(0, "fig8_proxy", 1)
+    seeds = {derive_seed(0, "fig8_proxy", k) for k in range(1, 11)}
+    assert len(seeds) == 10
+    assert derive_seed(0, "fig8_proxy", 1) != derive_seed(0, "fabric_churn", 1)
+
+
+def test_k1_golden_headline_identical_under_ten_permutations():
+    """The acceptance property: a K1 golden scenario's headline is
+    byte-identical under 10 seeded same-instant permutations."""
+    base, _ = _run_scenario("mpisim_fanout", None)
+    for k in range(1, 11):
+        perm, _ = _run_scenario("mpisim_fanout", derive_seed(0, "mpisim_fanout", k))
+        assert perm == base, f"permutation {k} diverged"
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_headline_schedule_independence_property(seed):
+    """Any tie-break seed whatsoever leaves the outcome untouched."""
+    base, _ = _run_scenario("mpisim_fanout", None)
+    perm, _ = _run_scenario("mpisim_fanout", seed)
+    assert perm == base
+
+
+def test_sanitize_scenario_full_pass_on_store_churn():
+    report = sanitize_scenario("store_churn", permutations=2, seed=0)
+    assert report["ok"] is True
+    assert report["deadlocks"] == 0 and report["stalls"] == 0
+    # the churn pump is all same-instant handoffs: conflicts must be
+    # mapped (informational), proving the detector saw the traffic
+    assert report["dynamic"]["conflict_signatures"] > 0

@@ -286,3 +286,80 @@ def test_peek_reports_next_event_time():
     assert env.peek() == 3.0
     env.run()
     assert env.peek() == float("inf")
+
+
+# ----------------------------------------------------------- schedule policy
+def _tagged_race(env, order):
+    """Four processes waking at the same instant, recording their tags."""
+
+    def make(tag):
+        def proc():
+            yield env.timeout(1)
+            order.append(tag)
+
+        return proc
+
+    for tag in ("a", "b", "c", "d"):
+        env.process(make(tag)(), name=tag)
+
+
+def test_random_tiebreak_policy_permutes_same_instant_events():
+    from repro.sim import RandomTiebreakPolicy
+
+    orders = set()
+    for seed in range(8):
+        env = Environment(schedule_policy=RandomTiebreakPolicy(seed))
+        order = []
+        _tagged_race(env, order)
+        env.run()
+        assert sorted(order) == ["a", "b", "c", "d"]  # all still run
+        orders.add(tuple(order))
+    assert len(orders) > 1  # at least one seed deviates from FIFO
+
+
+def test_random_tiebreak_policy_is_seed_deterministic():
+    from repro.sim import RandomTiebreakPolicy
+
+    runs = []
+    for _ in range(2):
+        env = Environment(schedule_policy=RandomTiebreakPolicy(1234))
+        order = []
+        _tagged_race(env, order)
+        env.run()
+        runs.append(order)
+    assert runs[0] == runs[1]
+
+
+def test_set_default_schedule_policy_installs_on_new_envs():
+    from repro.sim import RandomTiebreakPolicy, set_default_schedule_policy
+
+    def run_once():
+        env = Environment()
+        order = []
+        _tagged_race(env, order)
+        env.run()
+        return order
+
+    fifo = run_once()
+    set_default_schedule_policy(lambda: RandomTiebreakPolicy(7))
+    try:
+        permuted = run_once()
+        repeated = run_once()
+    finally:
+        set_default_schedule_policy(None)
+    assert sorted(permuted) == sorted(fifo)
+    assert permuted == repeated  # each new env gets the same seeded policy
+    assert run_once() == fifo  # cleared: back to FIFO
+
+
+def test_daemon_flag_marks_service_processes():
+    env = Environment()
+
+    def loop():
+        yield env.timeout(1)
+
+    worker = env.process(loop(), name="w")
+    service = env.process(loop(), name="s", daemon=True)
+    assert worker.daemon is False
+    assert service.daemon is True
+    env.run()

@@ -24,6 +24,7 @@ from repro.analysis.rules_queues import (
 )
 from repro.analysis.rules_races import (
     SharedMutableStateRule,
+    UnbatchedTimerLoopRule,
     UnboundedServiceWaitRule,
     UnorderedZeroDelayRule,
 )
@@ -44,6 +45,7 @@ def default_rules() -> list[Rule]:
         SharedMutableStateRule(),
         UnboundedServiceWaitRule(),
         UnorderedZeroDelayRule(),
+        UnbatchedTimerLoopRule(),
     ]
 
 
@@ -102,7 +104,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis.lint",
         description="Static checks for repro's determinism, protocol, "
         "queue-discipline, crash-journal and schedule-safety invariants "
-        "(RA001-RA010).",
+        "(RA001-RA011).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

@@ -8,7 +8,14 @@ runner measures, per scenario:
 
 * ``wall_s`` — wall-clock seconds for one run,
 * ``events`` / ``events_per_s`` — kernel events popped and throughput,
-* ``peak_queue_len`` — event-heap high-water mark,
+* ``peak_queue_len`` — event-queue high-water mark,
+* ``instants`` / ``max_instant_batch`` — same-instant dispatch cohorts
+  and the largest one (``events / instants`` is the mean batch size the
+  cohort drain amortises generator-resume overhead over),
+* ``queue`` — calendar-queue occupancy counters (``wheel_pushes``,
+  ``overflow_pushes``, ``rebases``, ``migrations``; all zero while the
+  queue stays in flat-heap mode, which every current scenario does —
+  they characterise the wheel once traces grow past ``_WHEEL_ENTER``),
 * ``rate_recomputes`` — fair-share solver invocations on all fabrics,
 * ``headline`` — *simulated* outputs (bytes moved, job durations, end
   times).  These are machine-independent and guarded by
@@ -82,12 +89,22 @@ def run_scenario(name: str) -> dict:
     t0 = time.perf_counter()  # noqa: RA001 - benchmark harness measures wall clock
     out = fn()
     wall = time.perf_counter() - t0  # noqa: RA001 - benchmark harness measures wall clock
-    events = out.env.events_processed
+    env = out.env
+    events = env.events_processed
+    q = env._queue
     return {
         "wall_s": round(wall, 4),
         "events": events,
         "events_per_s": int(events / wall) if wall > 0 else 0,
-        "peak_queue_len": out.env.peak_queue_len,
+        "peak_queue_len": env.peak_queue_len,
+        "instants": env.instants,
+        "max_instant_batch": env.max_instant_batch,
+        "queue": {
+            "wheel_pushes": q.wheel_pushes,
+            "overflow_pushes": q.overflow_pushes,
+            "rebases": q.rebases,
+            "migrations": q.migrations,
+        },
         "rate_recomputes": int(sum(f.rate_recomputes for f in out.fabrics)),
         "headline": out.headline,
     }
@@ -159,12 +176,13 @@ def format_report(report: Mapping) -> str:
     """Human-readable table of a suite report."""
     lines = [
         f"{'scenario':<16} {'wall s':>8} {'events':>10} {'events/s':>10} "
-        f"{'peak q':>7} {'recomputes':>10}",
+        f"{'peak q':>7} {'instants':>9} {'max batch':>9} {'recomputes':>10}",
     ]
     for name, m in report.get("scenarios", {}).items():
         lines.append(
             f"{name:<16} {m['wall_s']:>8.3f} {m['events']:>10} "
             f"{m['events_per_s']:>10} {m['peak_queue_len']:>7} "
+            f"{m.get('instants', 0):>9} {m.get('max_instant_batch', 0):>9} "
             f"{m['rate_recomputes']:>10}"
         )
     return "\n".join(lines)

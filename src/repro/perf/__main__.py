@@ -49,6 +49,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated subset to run (default: all)",
     )
     parser.add_argument(
+        "--gate-events-ratio", metavar="R", type=float, default=None,
+        help="with --check: also fail if any scenario's events/s falls "
+        "below R x the golden value (e.g. 0.8 = tolerate a 20%% drop); "
+        "throughput is machine-dependent, so this is a smoke gate, not "
+        "a benchmark",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -82,7 +89,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  {line}", file=sys.stderr)
             return 1
         print(f"\nheadlines match {args.check}")
+        if args.gate_events_ratio is not None:
+            slow = _events_regressions(report, golden, args.gate_events_ratio)
+            if slow:
+                print(
+                    f"\nEVENTS/S REGRESSION vs {args.check} "
+                    f"(gate {args.gate_events_ratio:g}x):",
+                    file=sys.stderr,
+                )
+                for line in slow:
+                    print(f"  {line}", file=sys.stderr)
+                return 1
+            print(f"events/s within {args.gate_events_ratio:g}x of golden")
+    elif args.gate_events_ratio is not None:
+        parser.error("--gate-events-ratio requires --check")
     return 0
+
+
+def _events_regressions(report, golden, ratio: float) -> list[str]:
+    """Scenarios whose throughput fell below ratio x the golden's."""
+    slow: list[str] = []
+    mine = report.get("scenarios", {})
+    for name, gold in golden.get("scenarios", {}).items():
+        m = mine.get(name)
+        want = gold.get("events_per_s", 0)
+        if m is None or not want:
+            continue
+        got = m.get("events_per_s", 0)
+        if got < ratio * want:
+            slow.append(f"{name}: {got} events/s < {ratio:g} x golden {want}")
+    return slow
 
 
 if __name__ == "__main__":

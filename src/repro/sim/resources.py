@@ -121,6 +121,12 @@ class Resource:
             if not request.triggered and request.callbacks is not None:
                 request.callbacks = None
                 self._nwaiting -= 1
+                env = self.env
+                dead = len(self._waiters) - self._nwaiting
+                if dead > env.tombstone_compact_min and dead > (
+                    env.tombstone_compact_ratio * len(self._waiters)
+                ):
+                    self._compact_waiters()
             return
         self._grant()
 
@@ -139,6 +145,18 @@ class Resource:
             self.users.append(req)
             self._nwaiting -= 1
             req.succeed(self)
+
+    def _compact_waiters(self) -> None:
+        """Rebuild the waiter heap without cancelled tombstones.
+
+        Filtering preserves each survivor's ``(priority, seq)`` key, so a
+        heapify restores the exact grant order; only dead entries (which
+        :meth:`_grant` would have skipped anyway) disappear.  Without this,
+        a long scheduler soak that cancels priority requests en masse keeps
+        dead entries pinned for hours of simulated time.
+        """
+        self._waiters = [w for w in self._waiters if w[2].callbacks is not None]
+        heapq.heapify(self._waiters)
 
     def __repr__(self) -> str:
         return (
@@ -246,7 +264,10 @@ class StoreGet(Event):
         self.callbacks = None
         store = self.store
         store._cancelled += 1
-        if store._cancelled > 16 and store._cancelled * 2 > len(store._getq):
+        env = store.env
+        if store._cancelled > env.tombstone_compact_min and store._cancelled > (
+            env.tombstone_compact_ratio * len(store._getq)
+        ):
             store._compact_getq()
 
 
@@ -289,6 +310,25 @@ class Store:
         if hb is not None:
             hb.on_store_put(self, item)
         self._do_put(item)
+        self._settle()
+        return True
+
+    def put_batch(self, items: list) -> bool:
+        """Deposit every item in *items* if capacity allows, in one pass.
+
+        Batched :meth:`put_nowait`: per-item HB edges are still recorded
+        (the sanitizer sees each deposit), but the settle sweep — the
+        expensive part when getters are queued — runs once for the whole
+        batch.  Returns False (depositing nothing) when the batch would
+        overflow; the caller must then fall back to per-item :meth:`put`.
+        """
+        if len(self.items) + len(items) > self.capacity:
+            return False
+        hb = self.env.hb
+        for item in items:
+            if hb is not None:
+                hb.on_store_put(self, item)
+            self._do_put(item)
         self._settle()
         return True
 

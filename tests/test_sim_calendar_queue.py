@@ -1,0 +1,216 @@
+"""Property tests: the calendar queue is order-equivalent to a flat heap.
+
+The kernel's correctness contract is that ``_CalendarQueue`` pops entries
+in the exact total order of the ``(time, priority, key)`` tuples a flat
+``heapq`` would produce — same-instant ties, far-future overflow entries
+and wheel wrap/collapse cycles included.  Cancellation in the kernel is
+event-level tombstoning (the entry stays queued and pops in order with
+``callbacks is None``), so at the queue layer a cancelled entry is just
+an ordinary item; the environment-level test below exercises that path
+end to end with the wheel forced on.
+"""
+
+import heapq
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+from repro.sim import kernel as K
+
+
+@contextmanager
+def wheel_params(enter, exit_, buckets):
+    """Shrink the wheel thresholds so tiny workloads exercise every mode."""
+    old = (K._WHEEL_ENTER, K._WHEEL_EXIT, K._WHEEL_BUCKETS)
+    K._WHEEL_ENTER, K._WHEEL_EXIT, K._WHEEL_BUCKETS = enter, exit_, buckets
+    try:
+        yield
+    finally:
+        K._WHEEL_ENTER, K._WHEEL_EXIT, K._WHEEL_BUCKETS = old
+
+
+# Times mix a dense grid (forcing same-instant ties and shared buckets),
+# arbitrary floats, and far-future spikes (forcing overflow + re-bases).
+_TIMES = st.one_of(
+    st.integers(min_value=0, max_value=12).map(float),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    st.sampled_from([1e6, 1e9, 1e12]),
+)
+_PRIORITIES = st.integers(min_value=0, max_value=2)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES, _PRIORITIES),
+        st.just(("pop",)),
+        st.just(("peek",)),
+    ),
+    max_size=200,
+)
+
+_PARAMS = st.sampled_from([
+    (8, 2, 4),      # constant churn through convert/collapse + wraps
+    (16, 4, 8),     # overflow-heavy
+    (32, 8, 256),   # realistic bucket count, early conversion
+])
+
+
+def _drain_and_compare(q, ref):
+    while ref:
+        assert q.pop() == heapq.heappop(ref)
+    assert len(q) == 0
+    assert not q
+    assert q.peek_time() == float("inf")
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS, params=_PARAMS)
+def test_pop_sequence_matches_reference_heap(ops, params):
+    """Arbitrary push/pop/peek interleavings pop in flat-heap order."""
+    with wheel_params(*params):
+        q = K._CalendarQueue()
+        ref: list = []
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                # key mirrors the kernel's monotone sequence number, so the
+                # payload slot is never compared; ties resolve on (t, prio, key)
+                item = (op[1], op[2], seq, seq)
+                seq += 1
+                q.push(item)
+                heapq.heappush(ref, item)
+            elif op[0] == "peek":
+                want = ref[0][0] if ref else float("inf")
+                assert q.peek_time() == want
+            elif ref:
+                assert q.pop() == heapq.heappop(ref)
+            assert len(q) == len(ref)
+            assert bool(q) == bool(ref)
+        _drain_and_compare(q, ref)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    delays=st.lists(
+        st.tuples(
+            st.one_of(
+                st.just(0.0),  # same-instant cohorts
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.sampled_from([1e7, 1e11]),  # far-future overflow
+            ),
+            _PRIORITIES,
+            st.integers(min_value=0, max_value=3),  # pops between pushes
+        ),
+        max_size=150,
+    ),
+    params=_PARAMS,
+)
+def test_kernel_style_monotone_workload(delays, params):
+    """Kernel-shaped usage: pushes at now+delay, now tracks the last pop.
+
+    This is the access pattern ``Environment`` actually produces — times
+    never precede the current instant — and drives the wheel through the
+    cursor-advance path rather than the push-clamp path.
+    """
+    with wheel_params(*params):
+        q = K._CalendarQueue()
+        ref: list = []
+        seq = 0
+        now = 0.0
+        for delay, prio, npops in delays:
+            item = (now + delay, prio, seq, seq)
+            seq += 1
+            q.push(item)
+            heapq.heappush(ref, item)
+            for _ in range(npops):
+                if not ref:
+                    break
+                got = q.pop()
+                assert got == heapq.heappop(ref)
+                now = got[0]
+        _drain_and_compare(q, ref)
+
+
+def test_far_future_overflow_migrates_on_wrap():
+    """Entries beyond the horizon overflow, then migrate when the wheel
+    re-bases onto their era; counters record the life cycle."""
+    with wheel_params(8, 2, 4):
+        q = K._CalendarQueue()
+        ref: list = []
+        for i in range(8):
+            item = (float(i), 0, i, i)
+            q.push(item)
+            heapq.heappush(ref, item)
+        assert q._wheel  # conversion happened at the enter threshold
+        for i in range(8, 16):
+            item = (1e9 + i, 0, i, i)  # far beyond the horizon
+            q.push(item)
+            heapq.heappush(ref, item)
+        assert q.overflow_pushes > 0
+        _drain_and_compare(q, ref)
+        assert q.rebases >= 2  # initial conversion + >=1 wrap re-base
+        assert q.migrations > 0
+
+
+def test_same_instant_spike_defers_conversion():
+    """A queue that is all one instant cannot be wheeled; the conversion
+    threshold doubles instead of rescanning on every push."""
+    with wheel_params(8, 2, 4):
+        q = K._CalendarQueue()
+        ref: list = []
+        for i in range(12):
+            item = (5.0, 0, i, i)
+            q.push(item)
+            heapq.heappush(ref, item)
+        assert not q._wheel
+        assert q._convert_min_size > 8
+        _drain_and_compare(q, ref)
+
+
+def test_environment_runs_identically_with_wheel_forced():
+    """End-to-end: the same workload (timers, stores, cancellations)
+    produces identical event counts and completion times whether the
+    queue stays a flat heap or is forced through the wheel."""
+
+    def workload():
+        env = Environment()
+        store = Store(env, capacity=64)
+        log = []
+
+        def producer():
+            for i in range(120):
+                yield env.timeout(0.25 if i % 3 else 0.0)
+                yield store.put(i)
+
+        def consumer(cid):
+            for _ in range(40):
+                item = yield store.get()
+                log.append((env.now, cid, item))
+
+        def canceller():
+            # race a get against a timer and withdraw the loser: the
+            # cancelled get stays tombstoned in the queue until popped
+            for _ in range(10):
+                get = store.get()
+                t = env.timeout(1e-3)
+                yield t | get
+                if not get.processed:
+                    get.cancel()
+                else:
+                    log.append((env.now, "c", get.value))
+                yield env.timeout(0.5)
+
+        for cid in range(3):
+            env.process(consumer(cid))
+        env.process(producer())
+        env.process(canceller())
+        env.run()
+        return (env.events_processed, env.now, env.instants,
+                env.max_instant_batch, log)
+
+    base = workload()
+    with wheel_params(8, 2, 4):
+        forced = workload()
+    assert forced == base

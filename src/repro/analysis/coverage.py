@@ -58,6 +58,8 @@ class LineCoverage:
         self.root = os.path.abspath(root) + os.sep
         self.hits: dict = {}
         self._include: dict = {}
+        self._prev_trace = None
+        self._prev_thread_trace = None
 
     # -- trace hook -----------------------------------------------------
     def _trace(self, frame, event, arg):
@@ -75,12 +77,18 @@ class LineCoverage:
         return self._trace
 
     def start(self) -> None:
+        # save whatever hook is active so stop() can restore it — without
+        # this, measuring a suite that itself exercises LineCoverage (the
+        # tool's own tests) silently disables the outer trace for the
+        # rest of the run and under-reports everything after it
+        self._prev_trace = sys.gettrace()
+        self._prev_thread_trace = getattr(threading, "gettrace", lambda: None)()
         threading.settrace(self._trace)
         sys.settrace(self._trace)
 
     def stop(self) -> None:
-        sys.settrace(None)
-        threading.settrace(None)
+        sys.settrace(self._prev_trace)
+        threading.settrace(self._prev_thread_trace)
 
     # -- reporting ------------------------------------------------------
     def report(self) -> dict:

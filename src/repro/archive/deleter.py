@@ -38,7 +38,7 @@ from repro.faults import CrashFault
 from repro.pfs import GpfsFileSystem, PathError
 from repro.recovery.journal import JobJournal
 from repro.sim import Environment, Event, Process, SimulationError
-from repro.tapedb import TapeIndexDB
+from repro.tapedb import ShardedTapeIndex, TapeIndexDB
 from repro.tsm import TsmServer
 
 __all__ = ["SynchronousDeleter", "Trashcan"]
@@ -147,7 +147,7 @@ class SynchronousDeleter:
         env: Environment,
         fs: GpfsFileSystem,
         tsm: TsmServer,
-        tapedb: Optional[TapeIndexDB] = None,
+        tapedb: Optional[TapeIndexDB | ShardedTapeIndex] = None,
         filespace: str = "archive",
         journal: Optional[JobJournal] = None,
         trashcan: Optional[Trashcan] = None,

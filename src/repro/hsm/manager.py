@@ -19,6 +19,7 @@ Recall routing policies:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -271,9 +272,54 @@ class HsmManager:
         self._queues[node].put(req)
         return done
 
-    def recall_many(self, paths: Sequence[str]) -> Event:
-        """Recall several files; fires when all are resident."""
-        events = [self.recall(p) for p in paths]
+    def recall_many(
+        self,
+        paths: Sequence[str],
+        tape_order: bool = False,
+        tapedb=None,
+    ) -> Event:
+        """Recall several files; fires when all are resident.
+
+        With *tape_order*, requests are enqueued in global (volume, seq)
+        order — a k-way merge of per-volume sorted runs, the same
+        arrangement PFTool's TapeCQ uses (§4.1.2) — so each daemon
+        drains its tape sequentially instead of seeking.  *tapedb* (a
+        :class:`~repro.tapedb.TapeIndexDB` or
+        :class:`~repro.tapedb.ShardedTapeIndex`) serves the location
+        lookups through its hot-entry cache; stubs the index does not
+        know yet (export staleness) fall back to TSM's own catalog, and
+        non-migrated files sort first (they complete instantly anyway).
+        """
+        if not tape_order:
+            events = [self.recall(p) for p in paths]
+            return AllOf(self.env, events)
+        runs: dict[str, list[tuple[int, int, str]]] = {}
+        for k, p in enumerate(paths):
+            inode = self.fs.lookup(p)
+            vol, seq = "", 0
+            if (
+                inode.hsm_state is HsmState.MIGRATED
+                and inode.tsm_object_id is not None
+            ):
+                loc = (
+                    tapedb.object_for_path(self.filespace, p)
+                    if tapedb is not None
+                    else None
+                )
+                if loc is not None and loc.object_id == inode.tsm_object_id:
+                    vol, seq = loc.volume, loc.seq
+                else:
+                    obj = self.tsm.locate(inode.tsm_object_id)
+                    if obj is not None:
+                        vol, seq = obj.volume, obj.seq
+            runs.setdefault(vol, []).append((seq, k, p))
+        merged = heapq.merge(
+            *(
+                [(vol, seq, k, p) for seq, k, p in sorted(run)]
+                for vol, run in sorted(runs.items())
+            )
+        )
+        events = [self.recall(p) for _, _, _, p in merged]
         return AllOf(self.env, events)
 
     def _dmapi_recall(self, path: str, inode, client: str) -> Event:

@@ -65,6 +65,9 @@ class ScenarioOutcome:
     #: fabrics whose ``rate_recomputes`` counters to aggregate
     fabrics: tuple = ()
     notes: str = ""
+    #: machine-dependent trajectory numbers (files/sec and friends) —
+    #: reported alongside wall_s/events_per_s, never compared as goldens
+    extras: Optional[dict] = None
 
 
 #: name -> scenario callable, in registration (report) order
@@ -107,6 +110,7 @@ def run_scenario(name: str) -> dict:
         },
         "rate_recomputes": int(sum(f.rate_recomputes for f in out.fabrics)),
         "headline": out.headline,
+        **({"extra": out.extras} if out.extras else {}),
     }
 
 
@@ -123,9 +127,18 @@ def run_suite(names: Optional[Iterable[str]] = None) -> dict:
     }
 
 
+_SCENARIO_MODULES_LOADED = False
+
+
 def _ensure_scenarios_loaded() -> None:
-    if not SCENARIOS:
-        from repro.perf import scenarios  # noqa: F401 - registers on import
+    # a flag, not ``if not SCENARIOS`` — importing one scenario module
+    # directly (e.g. ``repro.perf.metadata`` from a test) pre-populates
+    # the registry and must not stop the others from loading
+    global _SCENARIO_MODULES_LOADED
+    if not _SCENARIO_MODULES_LOADED:
+        from repro.perf import metadata, scenarios  # noqa: F401 - registers on import
+
+        _SCENARIO_MODULES_LOADED = True
 
 
 def compare_headlines(

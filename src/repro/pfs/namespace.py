@@ -181,13 +181,19 @@ class Namespace:
                     stack.append((cp, child))
 
     def iter_inodes(self) -> Iterator[tuple[str, Inode]]:
-        """Flat inode-order iteration — the GPFS fast metadata scan."""
-        return iter(
-            sorted(
-                ((p, n) for n, p in self._ino_index.values()),
-                key=lambda item: item[1].ino,
-            )
-        )
+        """Flat inode-order iteration — the GPFS fast metadata scan.
+
+        Streaming and O(1)-memory: inos are allocated from a monotonic
+        counter and ``_ino_index`` is insertion-ordered (creates append,
+        renames overwrite in place, unlinks delete), so plain dict order
+        *is* ino order — no sort, no materialised copy.  Like any dict
+        iteration, the namespace must not gain or lose entries while a
+        scan is open; scans run in zero simulated time, so only a caller
+        that itself mutates mid-loop can trip this (and gets Python's
+        RuntimeError rather than silent corruption).
+        """
+        for node, path in self._ino_index.values():
+            yield path, node
 
     # -- internals -----------------------------------------------------
     @staticmethod

@@ -155,13 +155,19 @@ class PolicyEngine:
         def _proc():
             t0 = self.env.now
             result = PolicyResult()
-            entries = list(self.namespace.iter_inodes())
-            result.scanned = len(entries)
+            n_entries = len(self.namespace)
+            result.scanned = n_entries
             # Charge the scan as one block (GPFS scans are batch jobs).
-            yield self.env.timeout(len(entries) / self.scan_rate)
+            yield self.env.timeout(n_entries / self.scan_rate)
             now = self.env.now
             migrate_hits: dict[str, list[PolicyHit]] = {}
-            for path, inode in entries:
+            # Stream the inode file instead of snapshotting it: the scan
+            # holds rule hits only, never a full (path, inode) copy of
+            # the namespace — the same bounded-memory treatment as the
+            # sharded tape index's recall cursors.  Files created while
+            # the timeout elapsed are scanned (a real GPFS scan also
+            # sees what it reaches after its start).
+            for path, inode in self.namespace.iter_inodes():
                 for rule in rules:
                     if isinstance(rule, ListRule):
                         if rule.matches(path, inode, now):

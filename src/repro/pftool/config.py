@@ -15,7 +15,7 @@ from repro.fusefs import ArchiveFuseFS
 from repro.hsm import HsmManager
 from repro.pfs import GpfsFileSystem
 from repro.sim import SimulationError
-from repro.tapedb import TapeIndexDB
+from repro.tapedb import ShardedTapeIndex, TapeIndexDB
 from repro.tsm import TsmServer
 
 __all__ = ["PftoolConfig", "RuntimeContext"]
@@ -105,7 +105,7 @@ class RuntimeContext:
     #: needed for the restore direction
     hsm: Optional[HsmManager] = None
     tsm: Optional[TsmServer] = None
-    tapedb: Optional[TapeIndexDB] = None
+    tapedb: Optional[TapeIndexDB | ShardedTapeIndex] = None
     #: TSM filespace of the archive file system
     filespace: str = "archive"
     #: optional :class:`repro.analysis.monitor.InvariantMonitor`; jobs

@@ -7,16 +7,45 @@ relevant columns into MySQL with proper indexes; PFTool then asks MySQL
 "which tape and where on it?" for every file to recall, and sorts
 recalls into tape order.
 
-:mod:`repro.tapedb` supplies the same capability:
+:mod:`repro.tapedb` supplies the same capability, grown past the single
+export the paper ran:
 
 * :class:`Table` / :class:`Index` — a small in-memory table engine with
-  hash + sorted-range indexes and predicate scans;
+  hash + sorted-range indexes, predicate scans, streaming cursors
+  (:meth:`Table.iter_index`) and O(n log n) :meth:`Table.bulk_load`;
 * :class:`TapeIndexDB` — the `filespace -> (volume, seq, object id)`
-  schema with the queries PFTool and the synchronous deleter need;
-* :class:`TsmDbExporter` — the periodic export job from a TSM server.
+  schema with the queries PFTool and the synchronous deleter need,
+  including the streaming recall order;
+* :class:`ShardedTapeIndex` — the same surface sharded by volume range
+  behind a router (:class:`VolumeRangeRouter` /
+  :class:`TokenRangeRouter`) with an :class:`LruCache` of hot entries
+  and a bounded-memory k-way merge for recall order — the 10^7-10^8
+  file tier (see DESIGN.md "Metadata plane");
+* :class:`TsmDbExporter` — the periodic export job from a TSM server;
+* :class:`BufferGauge` — live-entry accounting that lets tests *prove*
+  the streaming paths hold at most ``shards x batch`` entries.
 """
 
 from repro.tapedb.engine import Index, Table
+from repro.tapedb.shard import (
+    LruCache,
+    ShardedTapeIndex,
+    TokenRangeRouter,
+    VolumeRangeRouter,
+)
+from repro.tapedb.stream import BufferGauge, merge_sorted
 from repro.tapedb.tapeindex import TapeIndexDB, TapeLocation, TsmDbExporter
 
-__all__ = ["Index", "Table", "TapeIndexDB", "TapeLocation", "TsmDbExporter"]
+__all__ = [
+    "BufferGauge",
+    "Index",
+    "LruCache",
+    "ShardedTapeIndex",
+    "Table",
+    "TapeIndexDB",
+    "TapeLocation",
+    "TokenRangeRouter",
+    "TsmDbExporter",
+    "VolumeRangeRouter",
+    "merge_sorted",
+]

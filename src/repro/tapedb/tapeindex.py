@@ -15,7 +15,7 @@ uses :meth:`TapeIndexDB.object_for_path`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.sim import Environment, Event
 from repro.tapedb.engine import Table
@@ -86,6 +86,19 @@ class TapeIndexDB:
             }
         )
 
+    def bulk_load(self, rows: Iterable[dict]) -> int:
+        """Load many ``upsert``-shaped rows at once (one index sort).
+
+        *rows* carry the :meth:`upsert` fields (``object_id``, ``path``,
+        ``filespace``, ``volume``, ``seq``, ``nbytes``); ``inserted_at``
+        is stamped here.  Object ids must be new — bulk load is for
+        seeding/import, not for refresh.
+        """
+        now = self.env.now
+        return self.table.bulk_load(
+            {**row, "inserted_at": now} for row in rows
+        )
+
     def remove(self, object_id: int) -> bool:
         return self.table.delete(object_id)
 
@@ -102,8 +115,31 @@ class TapeIndexDB:
         return self._row_to_loc(rows[-1]) if rows else None
 
     def objects_on_volume(self, volume: str) -> list[TapeLocation]:
-        rows = self.table.select_prefix("by_volume", volume)
-        return [self._row_to_loc(r) for r in rows]
+        return list(self.iter_objects_on_volume(volume))
+
+    def iter_objects_on_volume(
+        self, volume: str, batch: int = 256, gauge=None
+    ) -> Iterator[TapeLocation]:
+        """Stream one volume's objects in seq order (bounded memory)."""
+        for row in self.table.iter_index(
+            "by_volume", prefix=(volume,), batch=batch, gauge=gauge
+        ):
+            yield self._row_to_loc(row)
+
+    def iter_recall_order(
+        self, batch: int = 256, gauge=None
+    ) -> Iterator[TapeLocation]:
+        """Stream the *whole* index in (volume, seq) order.
+
+        The streaming recall sort: identical global order to flattening
+        :meth:`sort_tape_order` over every location (volumes ascending,
+        seq ascending within a volume, insertion order on seq ties), but
+        at most *batch* row copies are live at any moment instead of the
+        full result — a caller that stops after the first tape has paid
+        for one batch, not the population.
+        """
+        for row in self.table.iter_index("by_volume", batch=batch, gauge=gauge):
+            yield self._row_to_loc(row)
 
     # -- timed queries (what PFTool issues) --------------------------------
     def locate_many(

@@ -238,3 +238,34 @@ def test_reconcile_report_counts_tsm_side():
     report = env.run(agent.run(delete_orphans=False))
     assert report.tsm_objects_checked == 3
     assert report.orphans_deleted == 0
+
+
+def test_recall_many_tape_order_via_sharded_index():
+    """Tape-ordered recall served from the sharded index's hot cache.
+
+    The §4.1.2 optimisation now streams its (volume, seq) sort through
+    the metadata plane: ``recall_many(tape_order=True, tapedb=...)``
+    looks locations up in the (sharded, LRU-cached) index and falls
+    back to TSM's catalog only for rows the export hasn't landed yet.
+    Both sources must produce the same recalls.
+    """
+    from repro.tapedb import ShardedTapeIndex
+
+    env = Environment()
+    fs, tsm, hsm = build_stack(env, n_drives=1, routing="sticky")
+    seed_files(env, fs, 12, 100e6)
+    paths = [f"/data/f{i}" for i in range(12)]
+    env.run(hsm.migrate("fta0", paths))
+
+    db = ShardedTapeIndex(env, n_shards=3, cache_entries=64)
+    for i, p in enumerate(paths[:9]):  # export lag: last 3 missing
+        obj = tsm.locate(fs.lookup(p).tsm_object_id)
+        db.upsert(obj.object_id, p, hsm.filespace, obj.volume, obj.seq,
+                  obj.nbytes)
+
+    done = hsm.recall_many(paths, tape_order=True, tapedb=db)
+    env.run(done)
+    assert hsm.files_recalled == 12
+    assert all(fs.lookup(p).hsm_state is HsmState.PREMIGRATED for p in paths)
+    # the index actually served lookups (missed only the stale rows)
+    assert db.cache.hits + db.cache.misses >= 9

@@ -177,3 +177,75 @@ def test_sort_tape_order_groups_and_sorts():
     assert list(ordered) == ["V1", "V2"]
     assert [l.seq for l in ordered["V1"]] == [4, 9]
     assert [l.seq for l in ordered["V2"]] == [1, 2]
+
+
+# -- streaming regression: the recall sort must not materialise ----------
+
+def test_recall_order_is_lazy_and_bounded():
+    """Regression for the full-sorted-copy recall path.
+
+    Consuming only the head of ``iter_recall_order`` must touch at most
+    one batch per shard — the old implementation sorted the whole index
+    up front, which at 10^7-10^8 files is the metadata-plane wall the
+    M* benchmarks measure.
+    """
+    from repro.tapedb import BufferGauge, ShardedTapeIndex
+
+    env = Environment()
+    pop, shards, batch = 5000, 4, 16
+    db = ShardedTapeIndex(env, n_shards=shards, cache_entries=0)
+    db.bulk_load(
+        {
+            "object_id": i + 1,
+            "path": f"/f{i}",
+            "filespace": "fs",
+            "volume": f"V{i % 40:03d}",
+            "seq": i // 40,
+            "nbytes": 1,
+        }
+        for i in range(pop)
+    )
+    gauge = BufferGauge()
+    it = db.iter_recall_order(batch=batch, gauge=gauge)
+    head = [next(it) for _ in range(batch)]
+    assert len(head) == batch
+    # only the cursors' working batches are live, not the population
+    assert gauge.peak <= shards * batch
+    assert gauge.peak < 0.10 * pop
+    it.close()
+
+    # monolithic index: same laziness through the same cursor machinery
+    mono = TapeIndexDB(env)
+    mono.bulk_load(
+        {
+            "object_id": i + 1,
+            "path": f"/f{i}",
+            "filespace": "fs",
+            "volume": f"V{i % 40:03d}",
+            "seq": i // 40,
+            "nbytes": 1,
+        }
+        for i in range(pop)
+    )
+    g2 = BufferGauge()
+    it2 = mono.iter_recall_order(batch=batch, gauge=g2)
+    assert next(it2).volume == "V000"
+    assert g2.peak <= batch
+    it2.close()
+
+
+def test_bulk_load_matches_upserts():
+    env = Environment()
+    a, b = TapeIndexDB(env), TapeIndexDB(env)
+    rows = [
+        {"object_id": i + 1, "path": f"/f{i % 5}", "filespace": "fs",
+         "volume": f"V{i % 3}", "seq": i, "nbytes": 10 * i}
+        for i in range(30)
+    ]
+    for r in rows:
+        a.upsert(r["object_id"], r["path"], r["filespace"], r["volume"],
+                 r["seq"], r["nbytes"])
+    assert b.bulk_load(rows) == 30
+    assert list(a.iter_recall_order()) == list(b.iter_recall_order())
+    with pytest.raises(Exception):
+        b.bulk_load([rows[0]])  # duplicate object id

@@ -19,7 +19,7 @@ within the un-journalled remainder plus one in-flight chunk per worker
 """
 
 
-from repro.faults import CrashFault
+from repro.faults import CrashFault, classify_failure
 from repro.metrics import comparison_table
 from repro.recovery import JobJournal
 from repro.sim import Environment
@@ -67,8 +67,8 @@ def _crashed_run(crash_at, journalled):
     env.call_later(crash_at, job.crash)
     try:
         env.run(job.done)
-    except CrashFault:
-        pass
+    except CrashFault as exc:
+        assert classify_failure(exc) == "crash"
     env.run()  # drain torn I/O
     t_crash = env.now
 

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.core import LintResult, Rule, run_lint
 from repro.analysis.rules_determinism import DeterminismRule
+from repro.analysis.rules_health import SilentFaultSwallowRule
 from repro.analysis.rules_protocol import PayloadSchemaRule, ProtocolRule
 from repro.analysis.rules_queues import (
     BlockingReceiveRule,
@@ -46,6 +47,7 @@ def default_rules() -> list[Rule]:
         UnboundedServiceWaitRule(),
         UnorderedZeroDelayRule(),
         UnbatchedTimerLoopRule(),
+        SilentFaultSwallowRule(),
     ]
 
 
@@ -103,8 +105,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="Static checks for repro's determinism, protocol, "
-        "queue-discipline, crash-journal and schedule-safety invariants "
-        "(RA001-RA011).",
+        "queue-discipline, crash-journal, schedule-safety and "
+        "fault-visibility invariants (RA001-RA012).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

@@ -1,0 +1,113 @@
+"""RA012 — no silent fault swallowing: caught faults must be recorded.
+
+The degraded-mode design (see :mod:`repro.health`) only works if every
+handler that catches a classified fault either re-raises it or feeds it
+to something that remembers it happened — the health plane's
+``on_fault``/``observe``, a breaker's ``record_failure``, the fault
+taxonomy's ``classify_failure``, or retry accounting.  A bare
+
+    except TsmFault:
+        pass
+
+is the outage nobody pages on: the operation "succeeded", the breaker
+never trips, and the detectors have nothing to notice between probes.
+
+The rule flags ``except`` handlers naming a fault type from
+:mod:`repro.faults` whose body contains neither a ``raise`` nor a call
+through one of the recording names in :data:`RECORDING_CALLS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["FAULT_TYPES", "RECORDING_CALLS", "SilentFaultSwallowRule"]
+
+#: exception names from the repro.faults taxonomy
+FAULT_TYPES = frozenset(
+    {
+        "FaultError",
+        "DriveFault",
+        "TsmFault",
+        "TransientIOFault",
+        "NodeOutageFault",
+        "CrashFault",
+        "CatalogFault",
+    }
+)
+
+#: call-name fragments that count as recording the fault: health-plane
+#: observations, breaker bookkeeping, taxonomy classification, and the
+#: ranks' retry/failure accounting
+RECORDING_CALLS = frozenset(
+    {
+        "on_fault",
+        "observe",
+        "record_failure",
+        "record_success",
+        "classify_failure",
+        "_record",
+        "record",
+        "note_failure",
+    }
+)
+
+
+def _names_fault(type_node: ast.expr | None) -> str | None:
+    """The caught fault-type name, if the handler names one."""
+    if type_node is None:
+        return None
+    candidates = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for node in candidates:
+        name = dotted_name(node)
+        if name is not None and name.split(".")[-1] in FAULT_TYPES:
+            return name.split(".")[-1]
+    return None
+
+
+def _records_or_raises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            last = name.split(".")[-1]
+            if last in RECORDING_CALLS or "health" in name.split("."):
+                return True
+    return False
+
+
+class SilentFaultSwallowRule(Rule):
+    """Flag fault-catching handlers that neither record nor re-raise."""
+
+    code = "RA012"
+    name = "silent-fault-swallow"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _names_fault(node.type)
+            if caught is None:
+                continue
+            if _records_or_raises(node):
+                continue
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"except {caught}: handler swallows an injected "
+                    "fault without recording a health event "
+                    "(on_fault/record_failure/classify_failure) or "
+                    "re-raising"
+                ),
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+            )

@@ -216,6 +216,9 @@ class ParallelArchiveSystem:
         self.migrator = BalancedMigrator(env, self.hsm)
         self.loadmanager = LoadManager(env, list(self.topology.fta_nodes))
         self.jail = CommandPolicy()
+        #: armed by :meth:`inject_faults`; jobs consult it for message
+        #: delivery through node-outage windows
+        self.fault_injector: Optional[FaultInjector] = None
 
         # overwrite of migrated data: FUSE-intercepted chunks are renamed
         # to the trashcan elsewhere; plain-file overwrites are recorded so
@@ -230,17 +233,25 @@ class ParallelArchiveSystem:
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
-    def inject_faults(self, plan: FaultPlan) -> FaultInjector:
-        """Arm *plan* against this site's library, TSM server and both
-        file systems; returns the armed :class:`FaultInjector` (its
-        ``injected`` dict reports what actually fired)."""
-        return FaultInjector(
+    def inject_faults(self, plan: FaultPlan, health=None) -> FaultInjector:
+        """Arm *plan* against this site's library, TSM server, tape
+        index and both file systems; returns the armed
+        :class:`FaultInjector` (its ``injected`` dict reports what
+        actually fired).  *health* is an optional
+        :class:`~repro.health.HealthView` that gets every recorded fault
+        as an ``on_fault`` observation.  The injector is remembered on
+        the site so jobs launched afterwards route their rank messaging
+        through its node-outage windows."""
+        self.fault_injector = FaultInjector(
             self.env,
             plan,
             library=self.library,
             tsm=self.tsm,
             filesystems=(self.archive_fs, self.scratch_fs),
+            tapedb=self.tapedb,
+            health=health,
         ).arm()
+        return self.fault_injector
 
     # ------------------------------------------------------------------
     # PFTool entry points (jail-approved commands)
@@ -258,6 +269,7 @@ class ParallelArchiveSystem:
                 tapedb=self.tapedb,
                 filespace=self.params.filespace,
                 monitor=self.monitor,
+                fault_injector=self.fault_injector,
             )
         return RuntimeContext(
             src_fs=self.archive_fs,
@@ -269,6 +281,7 @@ class ParallelArchiveSystem:
             tapedb=self.tapedb,
             filespace=self.params.filespace,
             monitor=self.monitor,
+            fault_injector=self.fault_injector,
         )
 
     def archive(

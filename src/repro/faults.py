@@ -40,12 +40,14 @@ retry but a restart — see :mod:`repro.recovery`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.sim import Environment, RandomStreams, SimulationError
 
 __all__ = [
+    "CatalogCorruption",
+    "CatalogFault",
     "CrashFault",
     "DriveFault",
     "DriveOutage",
@@ -54,10 +56,13 @@ __all__ = [
     "FaultError",
     "FaultInjector",
     "FaultPlan",
+    "LibraryOutage",
     "NodeOutage",
     "NodeOutageFault",
+    "PoolLoss",
     "ProcessCrash",
     "TransientIOFault",
+    "TsmBrownout",
     "TsmFault",
     "classify_failure",
 ]
@@ -100,6 +105,12 @@ class CrashFault(FaultError):
     """A component process was killed mid-flight (crash, not an error)."""
 
     fault_class = "crash"
+
+
+class CatalogFault(FaultError):
+    """The tape-index catalog disagrees with TSM (corrupt/missing rows)."""
+
+    fault_class = "catalog"
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -172,6 +183,76 @@ class ErrorBurst:
         return self.start <= now < self.until
 
 
+# ----------------------------------------------------------------------
+# sustained-failure regimes (long-lived, composable windows)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LibraryOutage:
+    """The whole tape library is offline during ``[start, start+duration)``.
+
+    Every drive fails at *start* and the drives that this regime failed
+    are repaired at the end (drives already failed by a
+    :class:`DriveOutage` stay failed — the regimes compose).  Mounts in
+    flight park on the idle-drive store until repair.
+    """
+
+    start: float
+    duration: float
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PoolLoss:
+    """Correlated FTA-node outage windows (a rack/PDU loss).
+
+    Expands at arm time into one :class:`NodeOutage` per node; each
+    node's start is offset by a seeded draw in ``[0, stagger)`` so the
+    loss rolls through the pool the way a real PDU brownout does.
+    """
+
+    nodes: tuple[str, ...]
+    start: float
+    duration: float
+    stagger: float = 0.0
+
+
+@dataclass(frozen=True)
+class TsmBrownout:
+    """TSM session brownout during ``[start, start+duration)``.
+
+    Metadata transaction latency is inflated by *latency_factor* for the
+    window, and (optionally) retrieves fail intermittently at
+    *error_rate* up to *max_errors* — the paper's "TSM session loss"
+    presented as a sustained regime rather than a point burst.
+    """
+
+    start: float
+    duration: float
+    latency_factor: float = 8.0
+    error_rate: float = 0.0
+    max_errors: int = 0
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class CatalogCorruption:
+    """Seeded tapedb row damage at sim time *at*.
+
+    *rows* rows get their volume/seq/nbytes scrambled in place and
+    *drop* further rows are deleted outright.  TSM's own catalog is the
+    ground truth and stays intact, so a reconcile (re-export) repairs
+    the index — the D3 disaster drill exercises exactly that loop.
+    """
+
+    at: float
+    rows: int = 8
+    drop: int = 0
+
+
 @dataclass(frozen=True)
 class ProcessCrash:
     """Kill the component registered under *target* at sim time *at*.
@@ -205,6 +286,10 @@ class FaultPlan:
         self.tsm_bursts: list[ErrorBurst] = []
         self.fs_bursts: list[ErrorBurst] = []
         self.crashes: list[ProcessCrash] = []
+        self.library_outages: list[LibraryOutage] = []
+        self.pool_losses: list[PoolLoss] = []
+        self.tsm_brownouts: list[TsmBrownout] = []
+        self.corruptions: list[CatalogCorruption] = []
 
     def drive_failure(
         self, at: float, drive: str, repair_after: Optional[float] = None
@@ -245,11 +330,60 @@ class FaultPlan:
         self.crashes.append(ProcessCrash(at, target))
         return self
 
+    # -- sustained regimes ----------------------------------------------
+    def library_outage(self, start: float, duration: float) -> "FaultPlan":
+        """Whole-library outage: every drive down for the window."""
+        self.library_outages.append(LibraryOutage(start, duration))
+        return self
+
+    def pool_loss(
+        self,
+        nodes: Sequence[str],
+        start: float,
+        duration: float,
+        stagger: float = 0.0,
+    ) -> "FaultPlan":
+        """Correlated FTA-node loss (expands to per-node outage windows)."""
+        self.pool_losses.append(
+            PoolLoss(tuple(nodes), start, duration, stagger)
+        )
+        return self
+
+    def tsm_brownout(
+        self,
+        start: float,
+        duration: float,
+        latency_factor: float = 8.0,
+        error_rate: float = 0.0,
+        max_errors: int = 0,
+    ) -> "FaultPlan":
+        """TSM brownout: latency inflation + intermittent retrieve errors."""
+        self.tsm_brownouts.append(
+            TsmBrownout(start, duration, latency_factor, error_rate, max_errors)
+        )
+        return self
+
+    def catalog_corruption(
+        self, at: float, rows: int = 8, drop: int = 0
+    ) -> "FaultPlan":
+        """Damage *rows* tapedb rows (and delete *drop* more) at *at*."""
+        self.corruptions.append(CatalogCorruption(at, rows, drop))
+        return self
+
+    @property
+    def regimes(self) -> int:
+        """Number of sustained-failure regimes in the plan."""
+        return (
+            len(self.library_outages) + len(self.pool_losses)
+            + len(self.tsm_brownouts) + len(self.corruptions)
+        )
+
     def __repr__(self) -> str:
         return (
             f"<FaultPlan seed={self.seed} drives={len(self.drive_outages)} "
             f"nodes={len(self.node_outages)} tsm={len(self.tsm_bursts)} "
-            f"fs={len(self.fs_bursts)} crashes={len(self.crashes)}>"
+            f"fs={len(self.fs_bursts)} crashes={len(self.crashes)} "
+            f"regimes={self.regimes}>"
         )
 
 
@@ -273,6 +407,12 @@ class FaultInjector:
     filesystems:
         File systems whose ``fault_hook`` receives data-op checks; node
         outages are enforced here too, by client-node match (optional).
+    tapedb:
+        Tape-index DB for catalog-corruption regimes (optional).
+    health:
+        Optional :class:`repro.health.HealthView`; every injected fault
+        is also reported to it (clients report errors to the health
+        plane the way production error-rate detectors aggregate them).
     """
 
     def __init__(
@@ -282,12 +422,16 @@ class FaultInjector:
         library=None,
         tsm=None,
         filesystems: Sequence = (),
+        tapedb=None,
+        health=None,
     ) -> None:
         self.env = env
         self.plan = plan
         self.library = library
         self.tsm = tsm
         self.filesystems = list(filesystems)
+        self.tapedb = tapedb
+        self.health = health
         self.streams = RandomStreams(plan.seed)
         #: fault_class -> number of faults actually injected
         self.injected: dict[str, int] = {}
@@ -297,6 +441,17 @@ class FaultInjector:
         #: crash entries that fired with no registered target at that time
         self.crash_misses: list[ProcessCrash] = []
         self._armed = False
+        #: effective node-outage windows: explicit entries plus pool-loss
+        #: regimes expanded (seeded stagger) at arm time
+        self._node_windows: list[NodeOutage] = list(plan.node_outages)
+        #: effective TSM bursts: explicit entries plus brownout error windows
+        self._tsm_bursts: list[ErrorBurst] = list(plan.tsm_bursts)
+        #: fs bursts, copied so arm() can rebase their windows
+        self._fs_bursts: list[ErrorBurst] = list(plan.fs_bursts)
+        #: Manager→rank messages delayed past a node-outage window
+        self.delayed_messages = 0
+        self._tsm_base_txn: Optional[float] = None
+        self._brownout_depth = 0
 
     # -- crash targets -------------------------------------------------
     def register_crash_target(
@@ -313,8 +468,10 @@ class FaultInjector:
         self._crash_targets.pop(name, None)
 
     # -- bookkeeping ---------------------------------------------------
-    def _record(self, fault_class: str) -> None:
+    def _record(self, fault_class: str, component: str = "") -> None:
         self.injected[fault_class] = self.injected.get(fault_class, 0) + 1
+        if self.health is not None and component:
+            self.health.on_fault(component, fault_class)
 
     def _burst_fires(self, burst: ErrorBurst, stream_name: str) -> bool:
         """Draw the burst's coin; honour its window and failure budget."""
@@ -332,9 +489,9 @@ class FaultInjector:
     def _tsm_hook(self, op: str, object_id) -> Optional[BaseException]:
         if op != "retrieve":
             return None
-        for burst in self.plan.tsm_bursts:
+        for burst in self._tsm_bursts:
             if self._burst_fires(burst, "faults.tsm"):
-                self._record("tsm")
+                self._record("tsm", component="tsm")
                 return TsmFault(
                     f"injected retrieve error for object {object_id} "
                     f"at t={self.env.now:.1f}"
@@ -343,13 +500,13 @@ class FaultInjector:
 
     def _fs_hook(self, op: str, client: Optional[str], path: str):
         if client is not None:
-            for outage in self.plan.node_outages:
+            for outage in self._node_windows:
                 if outage.node == client and outage.covers(self.env.now):
-                    self._record("node")
+                    self._record("node", component=f"node:{client}")
                     return NodeOutageFault(
                         f"node {client} down (t={self.env.now:.1f}) for {op} {path}"
                     )
-        for burst in self.plan.fs_bursts:
+        for burst in self._fs_bursts:
             if burst.op is not None and burst.op != op:
                 continue
             if burst.path_contains is not None and burst.path_contains not in path:
@@ -380,7 +537,189 @@ class FaultInjector:
             self.env.process(
                 self._crash_proc(crash), name=f"crash-{crash.target}"
             )
+        self._arm_regimes()
+        # Plan times are relative to arming, and the regime *processes*
+        # honour that via timeout(start) — but the passive window lists
+        # are queried against absolute env.now by the hooks, so shift
+        # them to arm time or a late-armed plan's windows never cover.
+        base = self.env.now
+        if base > 0.0:
+            self._node_windows = [
+                replace(w, start=w.start + base) for w in self._node_windows
+            ]
+            self._tsm_bursts = [
+                replace(b, start=b.start + base, until=b.until + base)
+                for b in self._tsm_bursts
+            ]
+            self._fs_bursts = [
+                replace(b, start=b.start + base, until=b.until + base)
+                for b in self._fs_bursts
+            ]
         return self
+
+    def _arm_regimes(self) -> None:
+        # pool losses expand to per-node windows with a seeded stagger so
+        # the loss rolls through the rack deterministically
+        stagger_rng = self.streams.stream("faults.pool")
+        for loss in self.plan.pool_losses:
+            for node in loss.nodes:
+                offset = (
+                    float(stagger_rng.random() * loss.stagger)
+                    if loss.stagger > 0 else 0.0
+                )
+                self._node_windows.append(
+                    NodeOutage(node, loss.start + offset, loss.duration)
+                )
+            self.env.process(
+                self._regime_proc("pool-loss", loss.start, loss.duration),
+                name="regime-pool-loss",
+            )
+        if self.library is not None:
+            for outage in self.plan.library_outages:
+                self.env.process(
+                    self._library_proc(outage), name="regime-library-outage"
+                )
+        if self.tsm is not None:
+            for brown in self.plan.tsm_brownouts:
+                if brown.error_rate > 0 and brown.max_errors > 0:
+                    self._tsm_bursts.append(ErrorBurst(
+                        "tsm", brown.error_rate, brown.max_errors,
+                        brown.start, brown.start + brown.duration,
+                    ))
+                self.env.process(
+                    self._brownout_proc(brown), name="regime-tsm-brownout"
+                )
+        if self.tapedb is not None:
+            for spec in self.plan.corruptions:
+                self.env.process(
+                    self._corrupt_proc(spec), name="regime-catalog-corruption"
+                )
+
+    def _trace_regime(self, kind: str, phase: str, **extra) -> None:
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant("fault:regime", tid="faults", cat="fault",
+                       args={"kind": kind, "phase": phase, **extra})
+
+    def _regime_proc(self, kind: str, start: float, duration: float):
+        """Trace-stamp a regime window (begin/end instants)."""
+        if start > 0:
+            yield self.env.timeout(start)
+        self._trace_regime(kind, "begin")
+        yield self.env.timeout(duration)
+        self._trace_regime(kind, "end")
+
+    def _library_proc(self, outage: LibraryOutage):
+        if outage.start > 0:
+            yield self.env.timeout(outage.start)
+        felled = [d.name for d in self.library.drives if not d.failed]
+        for name in felled:
+            self.library.fail_drive(name)
+        self._record("library")
+        self._trace_regime("library-outage", "begin", drives=len(felled))
+        yield self.env.timeout(outage.duration)
+        for name in felled:
+            self.library.repair_drive(name)
+        self._trace_regime("library-outage", "end", drives=len(felled))
+
+    def _brownout_proc(self, brown: TsmBrownout):
+        if brown.start > 0:
+            yield self.env.timeout(brown.start)
+        if self._brownout_depth == 0:
+            self._tsm_base_txn = self.tsm.txn_time
+        self._brownout_depth += 1
+        self.tsm.txn_time = self._tsm_base_txn * brown.latency_factor
+        self._record("tsm-brownout")
+        self._trace_regime("tsm-brownout", "begin",
+                           factor=brown.latency_factor)
+        yield self.env.timeout(brown.duration)
+        self._brownout_depth -= 1
+        if self._brownout_depth == 0:
+            self.tsm.txn_time = self._tsm_base_txn
+        self._trace_regime("tsm-brownout", "end")
+
+    def _corrupt_proc(self, spec: CatalogCorruption):
+        if spec.at > 0:
+            yield self.env.timeout(spec.at)
+        rng = self.streams.stream("faults.catalog")
+        oids = sorted(
+            row["object_id"] for row in self.tsm.export_rows()
+        ) if self.tsm is not None else []
+        n = min(spec.rows + spec.drop, len(oids))
+        if n == 0:
+            self._trace_regime("catalog-corruption", "begin", rows=0)
+            return
+        picks = [int(i) for i in rng.choice(len(oids), size=n, replace=False)]
+        damaged = dropped = 0
+        for k, idx in enumerate(picks):
+            oid = oids[idx]
+            loc = self.tapedb.location_of(oid)
+            if loc is None:
+                continue
+            if k < spec.drop:
+                self.tapedb.remove(oid)
+                dropped += 1
+            else:
+                # scramble volume/seq/nbytes in place — the row survives
+                # but lies about where the bytes live
+                self.tapedb.upsert(
+                    oid, loc.path, loc.filespace,
+                    volume="WRECK99", seq=loc.seq + 7919,
+                    nbytes=loc.nbytes + 1,
+                )
+                damaged += 1
+            self._record("catalog", component="catalog")
+        self._trace_regime("catalog-corruption", "begin",
+                           rows=damaged, dropped=dropped)
+
+    # -- regime/probe queries -------------------------------------------
+    def node_down_until(self, node: str) -> Optional[float]:
+        """End of the latest outage window covering *node* now (None = up)."""
+        end = None
+        now = self.env.now
+        for outage in self._node_windows:
+            if outage.node == node and outage.covers(now):
+                e = outage.start + outage.duration
+                if end is None or e > end:
+                    end = e
+        return end
+
+    def node_down(self, node: str) -> bool:
+        """Would a ping of *node* fail right now?"""
+        return self.node_down_until(node) is not None
+
+    # -- communicator binding (satellite fix) ---------------------------
+    def bind_comm(self, comm, node_of_rank: Callable[[int], str]) -> None:
+        """Delay in-flight messages addressed to ranks on downed nodes.
+
+        Node-outage windows historically only failed *data ops*; control
+        messages (Manager→rank work, Exit fan-out) were silently
+        delivered, so nothing upstream could notice the node was gone.
+        Messages to a downed rank now land after the outage window ends
+        (plus the normal latency), counted per-class under ``node`` —
+        non-overtaking still holds because the delayed delivery time is
+        monotone in send time.
+        """
+        prev = comm.delivery_hook
+
+        def hook(src: int, dst: int, deliver_at: float) -> float:
+            if prev is not None:
+                deliver_at = prev(src, dst, deliver_at)
+            end = self.node_down_until(node_of_rank(dst))
+            if end is not None:
+                delayed = end + comm.latency
+                if delayed > deliver_at:
+                    self._record("node", component=f"node:{node_of_rank(dst)}")
+                    self.delayed_messages += 1
+                    tr = self.env.trace
+                    if tr.enabled:
+                        tr.instant("fault:msg_delay", tid="faults",
+                                   cat="fault",
+                                   args={"dst": dst, "until": round(delayed, 9)})
+                    return delayed
+            return deliver_at
+
+        comm.delivery_hook = hook
 
     def _crash_proc(self, crash: ProcessCrash) -> Iterable:
         if crash.at > 0:

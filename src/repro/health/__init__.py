@@ -1,0 +1,218 @@
+"""Site health: failure detectors, circuit breakers, and the HealthView.
+
+The paper's operators found out about dead FTA nodes and wedged TSM
+sessions from users; this package gives the simulated site the health
+plane a production archive runs on (ROADMAP item 4(c)):
+
+=================  ====================================================
+module             provides
+=================  ====================================================
+``breaker``        :class:`CircuitBreaker` — closed→open→half-open with
+                   trace-stamped transitions around TSM sessions and
+                   library mounts
+``detector``       :class:`FailureDetector` — per-component probe loop
+                   on the simulated clock with capped-backoff retries
+``monitor``        :class:`SiteHealthMonitor` — wires detectors +
+                   breakers around one ParallelArchiveSystem
+(this module)      :class:`HealthView` — the site-wide state registry
+                   everything else queries and subscribes to
+=================  ====================================================
+
+A component is ``up``, ``suspect`` or ``down``.  Suspicion is
+phi-style: the view tracks each component's last successful probe and
+reports ``phi = (now - last_ok) / probe_interval``; one missed probe
+makes a component *suspect*, ``down_after`` consecutive misses (or an
+open breaker) make it *down*.  Transitions are published to subscribers
+— the scheduler's degraded-mode logic (``repro.scheduler``) fences
+nodes, parks retrieves and enters brownout off these callbacks — and
+mirrored as ``health:state`` trace instants so drills can gate on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.health.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.sim import Environment, SimulationError
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "ComponentHealth",
+    "DOWN",
+    "HALF_OPEN",
+    "HealthView",
+    "OPEN",
+    "SUSPECT",
+    "UP",
+]
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+@dataclass
+class ComponentHealth:
+    """Per-component detector state inside the view."""
+
+    name: str
+    probe_interval: float = 5.0
+    #: phi above this (probe intervals since the last success) = suspect
+    phi_threshold: float = 2.0
+    #: consecutive probe failures before the component is down
+    down_after: int = 2
+    breaker: Optional[CircuitBreaker] = None
+    last_ok: float = 0.0
+    consecutive_failures: int = 0
+    #: last state published to subscribers
+    published: str = UP
+    #: (sim time, state) history of published transitions
+    history: list = field(default_factory=list)
+
+
+class HealthView:
+    """Site-wide component health registry.
+
+    Detectors push observations in via :meth:`observe`; workloads report
+    errors via :meth:`on_fault`; everything else reads :meth:`state` /
+    :meth:`healthy` or subscribes to transitions.  Unregistered
+    components read as ``up`` — health is opt-in per component.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._components: dict[str, ComponentHealth] = {}
+        self._listeners: list[Callable[[str, str, str], None]] = []
+        #: (component, fault_class) -> workload-reported error count
+        self.fault_counts: dict[tuple[str, str], int] = {}
+
+    # -- registration ----------------------------------------------------
+    def register(
+        self,
+        name: str,
+        probe_interval: float = 5.0,
+        phi_threshold: float = 2.0,
+        down_after: int = 2,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> ComponentHealth:
+        if name in self._components:
+            raise SimulationError(f"component {name!r} already registered")
+        comp = ComponentHealth(
+            name, probe_interval=float(probe_interval),
+            phi_threshold=float(phi_threshold), down_after=int(down_after),
+            breaker=breaker, last_ok=self.env.now,
+        )
+        self._components[name] = comp
+        if breaker is not None:
+            # breaker transitions re-publish the component (an open
+            # breaker fences the component regardless of detector state)
+            prev = breaker._on_transition
+
+            def _chain(b, old, new, _prev=prev, _comp=comp):
+                if _prev is not None:
+                    _prev(b, old, new)
+                self._publish(_comp)
+
+            breaker._on_transition = _chain
+        return comp
+
+    def component(self, name: str) -> ComponentHealth:
+        comp = self._components.get(name)
+        if comp is None:
+            raise SimulationError(f"unknown health component {name!r}")
+        return comp
+
+    @property
+    def components(self) -> list[str]:
+        return sorted(self._components)
+
+    def subscribe(self, fn: Callable[[str, str, str], None]) -> None:
+        """Call ``fn(component, old_state, new_state)`` on transitions."""
+        self._listeners.append(fn)
+
+    # -- queries ---------------------------------------------------------
+    def phi(self, name: str) -> float:
+        """Suspicion level: probe intervals elapsed since the last
+        success (0.0 for unregistered components)."""
+        comp = self._components.get(name)
+        if comp is None:
+            return 0.0
+        return (self.env.now - comp.last_ok) / comp.probe_interval
+
+    def state(self, name: str) -> str:
+        comp = self._components.get(name)
+        if comp is None:
+            return UP
+        return self._effective(comp)
+
+    def healthy(self, name: str) -> bool:
+        return self.state(name) == UP
+
+    def _effective(self, comp: ComponentHealth) -> str:
+        if comp.breaker is not None and comp.breaker.state != CLOSED:
+            return DOWN
+        if comp.consecutive_failures >= comp.down_after:
+            return DOWN
+        if comp.consecutive_failures > 0:
+            return SUSPECT
+        if self.phi(comp.name) >= comp.phi_threshold:
+            return SUSPECT
+        return UP
+
+    def snapshot(self) -> dict[str, str]:
+        """Deterministic component -> state map (sorted keys)."""
+        return {name: self.state(name) for name in sorted(self._components)}
+
+    # -- observations ----------------------------------------------------
+    def observe(self, name: str, ok: bool) -> None:
+        """Record one probe outcome for *name* (detectors call this)."""
+        comp = self.component(name)
+        if ok:
+            comp.last_ok = self.env.now
+            comp.consecutive_failures = 0
+            if comp.breaker is not None:
+                comp.breaker.record_success()
+        else:
+            comp.consecutive_failures += 1
+            if comp.breaker is not None:
+                comp.breaker.record_failure()
+        self._publish(comp)
+
+    def on_fault(self, component: str, fault_class: str = "fault") -> None:
+        """A workload operation observed an error against *component*.
+
+        Counts per (component, class) and feeds the component's breaker
+        — client-observed errors trip breakers the same way failed
+        probes do, which is what gives detectors something to notice
+        *between* probe ticks.
+        """
+        key = (component, fault_class)
+        self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant("health:fault", tid="health", cat="health",
+                       args={"component": component, "class": fault_class})
+        comp = self._components.get(component)
+        if comp is not None and comp.breaker is not None:
+            comp.breaker.record_failure()
+            self._publish(comp)
+
+    def _publish(self, comp: ComponentHealth) -> None:
+        new = self._effective(comp)
+        old = comp.published
+        if new == old:
+            return
+        comp.published = new
+        comp.history.append((self.env.now, new))
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant("health:state", tid="health", cat="health",
+                       args={"component": comp.name, "from": old, "to": new,
+                             "phi": round(self.phi(comp.name), 6)})
+        for fn in list(self._listeners):
+            fn(comp.name, old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HealthView {self.snapshot()}>"

@@ -1,0 +1,113 @@
+"""Circuit breakers for flaky dependencies (TSM sessions, library mounts).
+
+The classic three-state machine on the simulated clock:
+
+* ``closed`` — calls flow; *failure_threshold* consecutive failures trip
+  the breaker open.
+* ``open`` — calls are refused outright (no probe traffic hammers a
+  down service); after *reset_timeout* seconds the next :meth:`allow`
+  admits a single trial and moves to half-open.
+* ``half_open`` — exactly one probe is in flight; a recorded success
+  closes the breaker, a recorded failure re-opens it and restarts the
+  reset clock.
+
+The only edge into ``closed`` from ``half_open`` is a probe success —
+the invariant the stateful hypothesis test pins down.  Every transition
+is trace-stamped (``health:breaker``) and kept in :attr:`transitions`
+for assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import Environment, SimulationError
+
+__all__ = ["CLOSED", "CircuitBreaker", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one dependency."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        on_transition: Optional[Callable[["CircuitBreaker", str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise SimulationError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise SimulationError("reset_timeout must be >= 0")
+        self.env = env
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.state = CLOSED
+        #: consecutive failures observed while closed
+        self.failures = 0
+        self.opened_at = float("-inf")
+        #: (sim time, from, to) of every transition, in order
+        self.transitions: list[tuple[float, str, str]] = []
+        self._on_transition = on_transition
+
+    def _move(self, new: str, reason: str) -> None:
+        old = self.state
+        if new == old:
+            return
+        self.state = new
+        self.transitions.append((self.env.now, old, new))
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant("health:breaker", tid="health", cat="health",
+                       args={"name": self.name, "from": old, "to": new,
+                             "reason": reason})
+        if self._on_transition is not None:
+            self._on_transition(self, old, new)
+
+    # -- call gating -----------------------------------------------------
+    def allow(self) -> bool:
+        """May a call (or probe) proceed right now?
+
+        While open, returns False until *reset_timeout* has elapsed; the
+        first allow after that moves to half-open and admits the trial.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.env.now - self.opened_at >= self.reset_timeout:
+                self._move(HALF_OPEN, "reset-timeout")
+                return True
+            return False
+        return True  # HALF_OPEN: the single trial is whoever asked
+
+    # -- outcome recording -----------------------------------------------
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            # the one and only closed-ward edge: a half-open probe success
+            self._move(CLOSED, "probe-success")
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self.opened_at = self.env.now
+            self._move(OPEN, "probe-failure")
+            return
+        if self.state == OPEN:
+            return  # already fenced; nothing new to learn
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self.opened_at = self.env.now
+            self._move(OPEN, "failure-threshold")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CircuitBreaker {self.name} {self.state} "
+            f"failures={self.failures}>"
+        )

@@ -1,0 +1,104 @@
+"""Per-component failure detectors on the simulated clock.
+
+A :class:`FailureDetector` owns one component: it runs a probe loop as
+a daemon process, reports each outcome to the :class:`~repro.health.
+HealthView` (heartbeat on success, suspicion escalation on failure),
+and paces itself like a production detector — *probe_interval* between
+successes, capped exponential backoff between consecutive failures so a
+dead component is re-checked eagerly at first and lazily once it is
+clearly down.  When the component has a circuit breaker, probes honour
+it: an open breaker suppresses probing entirely until its reset timeout
+admits the half-open trial.
+
+Detector loops are perpetual; harnesses that want ``env.run()`` to
+terminate must call :meth:`FailureDetector.stop` (or
+``SiteHealthMonitor.stop``) once the workload drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.health import HealthView
+from repro.sim import Environment
+
+__all__ = ["DetectorConfig", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Pacing knobs shared by a site's detectors."""
+
+    probe_interval: float = 5.0
+    phi_threshold: float = 2.0
+    down_after: int = 2
+    #: backoff before the first re-probe after a failure; doubles per miss
+    probe_backoff: float = 1.0
+    probe_backoff_max: float = 8.0
+    #: breaker sizing for components that get one
+    breaker_failures: int = 3
+    breaker_reset: float = 20.0
+
+
+class FailureDetector:
+    """Probe loop for one component.
+
+    *probe* is a zero-argument callable returning truthy for healthy;
+    exceptions count as failures (a probe that dies proves the point).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        view: HealthView,
+        name: str,
+        probe: Callable[[], bool],
+        config: Optional[DetectorConfig] = None,
+    ) -> None:
+        self.env = env
+        self.view = view
+        self.name = name
+        self.probe = probe
+        self.config = config or DetectorConfig()
+        self.probes = 0
+        self._stopped = False
+        self._proc = env.process(
+            self._run(), name=f"health-{name}", daemon=True
+        )
+
+    def stop(self) -> None:
+        """Tear the probe loop down (lets ``env.run()`` terminate)."""
+        if not self._stopped:
+            self._stopped = True
+            if self._proc.is_alive:
+                self._proc.kill()
+
+    def _run(self):
+        cfg = self.config
+        comp = self.view.component(self.name)
+        misses = 0
+        while not self._stopped:
+            breaker = comp.breaker
+            if breaker is None or breaker.allow():
+                self.probes += 1
+                try:
+                    ok = bool(self.probe())
+                except Exception:
+                    ok = False
+                self.view.observe(self.name, ok)
+            else:
+                ok = False  # breaker open: probing suppressed, stay down
+            if ok:
+                misses = 0
+                delay = cfg.probe_interval
+            else:
+                misses += 1
+                delay = min(
+                    cfg.probe_backoff * (2 ** (misses - 1)),
+                    cfg.probe_backoff_max,
+                )
+            yield self.env.timeout(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FailureDetector {self.name} probes={self.probes}>"

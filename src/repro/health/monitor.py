@@ -1,0 +1,151 @@
+"""Wire a health plane around one :class:`ParallelArchiveSystem`.
+
+:class:`SiteHealthMonitor` registers the standard components and spawns
+their detectors:
+
+* ``library`` — breaker around library mounts; the probe asks whether
+  any drive is healthy (a whole-library outage fails it).
+* ``tsm`` — breaker around TSM sessions; the probe measures the
+  server's metadata transaction latency against the baseline captured
+  at attach time (a brownout's latency inflation fails it), and
+  workload-observed TSM errors trip the breaker between probes via
+  :meth:`~repro.health.HealthView.on_fault`.
+* ``catalog`` — detector comparing a deterministic sample of tape-index
+  rows against TSM's catalog (the ground truth); corruption or dropped
+  rows fail it, and a reconcile (re-export) heals it.
+* ``node:<fta>`` — one detector per FTA node; the probe pings the node
+  through the fault injector's outage windows when one is armed
+  (otherwise nodes always answer).
+
+Probes read simulated state deterministically and never draw from the
+fault RNG streams, so attaching a monitor perturbs no workload fault
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.health import HealthView
+from repro.health.breaker import CircuitBreaker
+from repro.health.detector import DetectorConfig, FailureDetector
+
+__all__ = ["SiteHealthMonitor", "catalog_probe", "verify_catalog"]
+
+
+def verify_catalog(tapedb, tsm, sample: int = 0) -> int:
+    """Rows in *tapedb* that disagree with TSM (missing or scrambled).
+
+    *sample* > 0 checks every ``len(rows)//sample``-th row (deterministic
+    stride over the sorted export); 0 checks everything.
+    """
+    rows = sorted(tsm.export_rows(), key=lambda r: r["object_id"])
+    if sample > 0 and len(rows) > sample:
+        step = len(rows) // sample
+        rows = rows[::step]
+    bad = 0
+    for row in rows:
+        loc = tapedb.location_of(row["object_id"])
+        if loc is None or (loc.volume, loc.seq, loc.nbytes) != (
+            row["volume"], row["seq"], row["nbytes"]
+        ):
+            bad += 1
+    return bad
+
+
+def catalog_probe(tapedb, tsm, sample: int = 64) -> Callable[[], bool]:
+    """Probe callable: True while the sampled tape index matches TSM."""
+    return lambda: verify_catalog(tapedb, tsm, sample=sample) == 0
+
+
+class SiteHealthMonitor:
+    """Detectors + breakers + HealthView for one archive site."""
+
+    def __init__(
+        self,
+        env,
+        system,
+        injector=None,
+        config: Optional[DetectorConfig] = None,
+        nodes: Optional[Iterable[str]] = None,
+        latency_tolerance: float = 2.0,
+        catalog_sample: int = 64,
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.injector = injector
+        self.config = config or DetectorConfig()
+        self.view = HealthView(env)
+        self.detectors: list[FailureDetector] = []
+        self._tsm_baseline = system.tsm.txn_time
+
+        self.watch("library", self._library_probe, breaker=True)
+        self.watch(
+            "tsm",
+            lambda: system.tsm.txn_time
+            <= self._tsm_baseline * latency_tolerance,
+            breaker=True,
+        )
+        if system.tapedb is not None:
+            self.watch(
+                "catalog",
+                catalog_probe(system.tapedb, system.tsm,
+                              sample=catalog_sample),
+            )
+        node_list = list(nodes) if nodes is not None else list(
+            system.loadmanager.nodes
+        )
+        for node in node_list:
+            self.watch(f"node:{node}", self._node_probe(node))
+
+    # -- probes ----------------------------------------------------------
+    def _library_probe(self) -> bool:
+        return len(self.system.library.healthy_drives) > 0
+
+    def _node_probe(self, node: str) -> Callable[[], bool]:
+        def probe() -> bool:
+            # resolve late: the monitor is usually built before the fault
+            # plan is armed (the injector wants the view to report into)
+            inj = self.injector
+            if inj is None:
+                inj = getattr(self.system, "fault_injector", None)
+            return inj is None or not inj.node_down(node)
+
+        return probe
+
+    # -- wiring ----------------------------------------------------------
+    def watch(
+        self,
+        name: str,
+        probe: Callable[[], bool],
+        breaker: bool = False,
+        config: Optional[DetectorConfig] = None,
+    ) -> FailureDetector:
+        """Register *name* and start its detector (optionally breakered)."""
+        cfg = config or self.config
+        brk = None
+        if breaker:
+            brk = CircuitBreaker(
+                self.env, name,
+                failure_threshold=cfg.breaker_failures,
+                reset_timeout=cfg.breaker_reset,
+            )
+        self.view.register(
+            name, probe_interval=cfg.probe_interval,
+            phi_threshold=cfg.phi_threshold, down_after=cfg.down_after,
+            breaker=brk,
+        )
+        det = FailureDetector(self.env, self.view, name, probe, config=cfg)
+        self.detectors.append(det)
+        return det
+
+    def breaker(self, name: str) -> Optional[CircuitBreaker]:
+        return self.view.component(name).breaker
+
+    def stop(self) -> None:
+        """Stop every detector loop (lets ``env.run()`` terminate)."""
+        for det in self.detectors:
+            det.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SiteHealthMonitor {self.view.snapshot()}>"

@@ -71,6 +71,12 @@ class SimComm:
         #: policy (permuted schedules may reorder cross-source arrivals,
         #: never same-source ones)
         self._inflight: dict[tuple[int, int, float], list[Message]] = {}
+        #: optional delivery-fault hook ``(src, dst, deliver_at) ->
+        #: deliver_at`` — a fault injector may postpone a message (e.g.
+        #: the destination rank's node is in an outage window).  The
+        #: returned time must be monotone in send time per (src, dst)
+        #: pair or the MPI non-overtaking guarantee breaks.
+        self.delivery_hook = None
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
@@ -86,9 +92,15 @@ class SimComm:
         msg = Message(src, dst, tag, payload)
         if self.monitor is not None:
             self.monitor.on_send(self, msg)
+        deliver_at = self.env.now + self.latency
+        if self.delivery_hook is not None and self.latency > 0:
+            # the hook's returned time is the batch key verbatim, so two
+            # sends postponed to the same instant share one timer and
+            # keep their send order (no ulp-level overtaking)
+            deliver_at = self.delivery_hook(src, dst, deliver_at)
         hb = self.env.hb
         if hb is not None:
-            hb.on_comm_send(self, msg, self.latency)
+            hb.on_comm_send(self, msg, deliver_at - self.env.now)
         tr = self.env.trace
         if tr.enabled:
             tr.instant("comm:send", tid=f"rank{src}", cat="comm",
@@ -98,14 +110,15 @@ class SimComm:
         # instead of a Process + init event + Timeout + put event.
         mailbox = self._mailboxes[dst]
         if self.latency > 0:
-            key = (src, dst, self.env.now + self.latency)
+            key = (src, dst, deliver_at)
             batch = self._inflight.get(key)
             if batch is not None:
                 batch.append(msg)  # rides the batch's existing timer
             else:
                 self._inflight[key] = batch = [msg]
                 self.env.call_later(
-                    self.latency, lambda: self._deliver(key, batch, mailbox)
+                    deliver_at - self.env.now,
+                    lambda: self._deliver(key, batch, mailbox),
                 )
         else:
             mailbox.put_nowait(msg)

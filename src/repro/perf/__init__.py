@@ -136,7 +136,7 @@ def _ensure_scenarios_loaded() -> None:
     # the registry and must not stop the others from loading
     global _SCENARIO_MODULES_LOADED
     if not _SCENARIO_MODULES_LOADED:
-        from repro.perf import metadata, scenarios  # noqa: F401 - registers on import
+        from repro.perf import drills, metadata, scenarios  # noqa: F401 - registers on import
 
         _SCENARIO_MODULES_LOADED = True
 

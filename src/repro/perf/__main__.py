@@ -36,6 +36,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(emits BENCH_kernel.json).",
     )
     parser.add_argument(
+        "names", nargs="*", metavar="SCENARIO",
+        help="scenario name(s) to run (default: all; see --list)",
+    )
+    parser.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the JSON report to PATH",
     )
@@ -72,6 +76,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     names = None
     if args.scenarios:
         names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+    if args.names:
+        names = (names or []) + list(args.names)
 
     report = run_suite(names)
     print(format_report(report))

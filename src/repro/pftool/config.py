@@ -112,6 +112,10 @@ class RuntimeContext:
     #: built from this context attach it to their communicator (tests
     #: install a strict default via the analysis module instead)
     monitor: Optional[Any] = None
+    #: optional armed :class:`repro.faults.FaultInjector`; jobs route
+    #: their communicator's deliveries through its node-outage windows
+    #: so messages to a downed node stall past the window
+    fault_injector: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:

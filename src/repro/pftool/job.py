@@ -86,6 +86,8 @@ class PftoolJob:
                     "journal, or resume via PftoolJob.resume"
                 )
         self.comm = SimComm(env, self.cfg.total_ranks)
+        if ctx.fault_injector is not None:
+            ctx.fault_injector.bind_comm(self.comm, ctx.node_of_rank)
         self._manager = Manager(
             env, self.comm, self.cfg, ctx, op, src, dst, self.stats,
             self.done, journal=journal,

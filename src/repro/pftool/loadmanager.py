@@ -31,6 +31,9 @@ class LoadManager:
         self.env = env
         self.nodes = list(nodes)
         self._load: dict[str, int] = {n: 0 for n in self.nodes}
+        #: nodes temporarily withdrawn from placement (health-fenced);
+        #: still registered, still accounted, never in the machine list
+        self._fenced: set[str] = set()
 
     def register(self, node: str) -> None:
         """Add *node* to the pool (idempotent) — the explicit path for a
@@ -39,9 +42,67 @@ class LoadManager:
             self.nodes.append(node)
             self._load[node] = 0
 
+    def deregister(self, node: str) -> None:
+        """Permanently remove *node* from the pool.
+
+        Refuses while the node still carries load — a shrinking pool must
+        drain (or requeue) its jobs first, or the slot accounting would
+        silently leak the in-flight ranks.
+        """
+        if node not in self._load:
+            raise SimulationError(
+                f"cannot deregister unknown node {node!r} "
+                f"(known: {sorted(self._load)})"
+            )
+        if self._load[node] != 0:
+            raise SimulationError(
+                f"cannot deregister node {node!r} with load "
+                f"{self._load[node]}; drain or requeue its jobs first"
+            )
+        self.nodes.remove(node)
+        del self._load[node]
+        self._fenced.discard(node)
+
+    # -- fencing ---------------------------------------------------------
+    def fence(self, node: str) -> None:
+        """Withdraw *node* from placement without forgetting it
+        (idempotent).  Existing jobs keep their accounting; new machine
+        lists skip the node until :meth:`unfence`."""
+        if node not in self._load:
+            raise SimulationError(
+                f"cannot fence unknown node {node!r} "
+                f"(known: {sorted(self._load)})"
+            )
+        self._fenced.add(node)
+
+    def unfence(self, node: str) -> None:
+        """Return a fenced node to placement (idempotent)."""
+        if node not in self._load:
+            raise SimulationError(
+                f"cannot unfence unknown node {node!r} "
+                f"(known: {sorted(self._load)})"
+            )
+        self._fenced.discard(node)
+
+    @property
+    def fenced(self) -> list[str]:
+        return sorted(self._fenced)
+
+    @property
+    def active_nodes(self) -> list[str]:
+        """Registered nodes currently eligible for placement."""
+        return [n for n in self.nodes if n not in self._fenced]
+
     def machine_list(self) -> list[str]:
-        """Nodes sorted by (load, name) — the 'timely MPI machine list'."""
-        return sorted(self.nodes, key=lambda n: (self._load[n], n))
+        """Nodes sorted by (load, name) — the 'timely MPI machine list'.
+
+        Fenced nodes are excluded: the LoadManager hands the scheduler
+        only nodes it may actually place ranks on.
+        """
+        return sorted(
+            (n for n in self.nodes if n not in self._fenced),
+            key=lambda n: (self._load[n], n),
+        )
 
     def _check_known(self, nodes_used: Sequence[str]) -> None:
         unknown = sorted({n for n in nodes_used if n not in self._load})
@@ -54,6 +115,12 @@ class LoadManager:
 
     def job_started(self, nodes_used: Sequence[str]) -> None:
         self._check_known(nodes_used)
+        fenced = sorted({n for n in nodes_used if n in self._fenced})
+        if fenced:
+            raise SimulationError(
+                f"job placed on fenced node(s) {fenced}; the dispatcher "
+                "must re-resolve its machine list after a pool change"
+            )
         for n in nodes_used:
             self._load[n] += 1
 
@@ -76,9 +143,16 @@ class LoadManager:
         return sum(self._load.values())
 
     def free_slots(self, slots_per_node: int) -> int:
-        """Rank-slots still available under a per-node concurrency cap."""
+        """Rank-slots still available under a per-node concurrency cap.
+
+        Fenced nodes contribute nothing: their remaining headroom is not
+        placeable, so advertising it would admit jobs the dispatcher can
+        no longer seat.
+        """
         return sum(
-            max(0, slots_per_node - load) for load in self._load.values()
+            max(0, slots_per_node - self._load[n])
+            for n in self.nodes
+            if n not in self._fenced
         )
 
     def __repr__(self) -> str:

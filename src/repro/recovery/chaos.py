@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.archive import ArchiveParams, ParallelArchiveSystem
-from repro.faults import CrashFault, FaultPlan
+from repro.faults import CrashFault, FaultPlan, classify_failure
 from repro.pftool import PftoolConfig
 from repro.recovery.journal import JobJournal
 from repro.sim import Environment, RandomStreams
@@ -46,7 +46,7 @@ from repro.tapesim import TapeSpec
 from repro.trace import tracing
 from repro.trace.assertions import TraceAssertions
 
-__all__ = ["ChaosResult", "DEFAULT_POINTS", "main", "run_chaos"]
+__all__ = ["ChaosResult", "DEFAULT_POINTS", "end_state", "main", "run_chaos"]
 
 MB = 1_000_000
 
@@ -126,6 +126,15 @@ def _files_under(fs, root: str) -> dict[str, object]:
     }
 
 
+def end_state(fs, root: str) -> dict[str, tuple[int, object]]:
+    """rel path -> (size, content token) under *root* — the comparable
+    end-state digest the chaos and disaster-drill oracles share."""
+    return {
+        rel: (inode.size, inode.content_token)
+        for rel, inode in _files_under(fs, root).items()
+    }
+
+
 @dataclass
 class ScenarioOutcome:
     """Everything one workload run leaves behind."""
@@ -137,6 +146,8 @@ class ScenarioOutcome:
     #: stats of the phase that was crashed + resumed (copy phases only)
     resumed_stats: object = None
     injector: object = None
+    #: fault classes the harness observed (and acted on) first-hand
+    fault_classes: list = field(default_factory=list)
 
 
 def _run_scenario(
@@ -180,7 +191,10 @@ def _run_scenario(
             try:
                 stats = env.run(job.done)
                 crashed = stats.aborted
-            except CrashFault:
+            except CrashFault as exc:
+                # record before recovering — swallowing an injected fault
+                # without a trace is exactly what RA012 forbids
+                out.fault_classes.append(classify_failure(exc))
                 crashed = True
             if crashed:
                 env.run()  # drain torn I/O

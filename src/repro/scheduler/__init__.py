@@ -15,7 +15,9 @@ module             provides
 ``fairshare``      :class:`FairShare` — weighted stride scheduling plus
                    the deviation metric the S1 benchmark bounds
 ``admission``      :class:`AdmissionController` — load-based admission
-                   over the FTA rank-slots and the tape-drive pool
+                   over the FTA rank-slots and the tape-drive pool,
+                   plus :class:`DegradedModePolicy` brownout knobs
+                   (health-aware admission; ROADMAP item 4(c))
 ``scenario``       seeded multi-tenant scenarios: S1 (``run_s1``) and
                    the cancel/preempt soak behind ``python -m
                    repro.scheduler``
@@ -31,7 +33,11 @@ Quickstart::
     env.run(service.drain())     # or env.run(ticket.done)
 """
 
-from repro.scheduler.admission import AdmissionController, AdmissionPolicy
+from repro.scheduler.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    DegradedModePolicy,
+)
 from repro.scheduler.fairshare import FairShare
 from repro.scheduler.queues import (
     ACTIVE,
@@ -52,6 +58,7 @@ __all__ = [
     "AdmissionPolicy",
     "CANCELLED",
     "COMPLETED",
+    "DegradedModePolicy",
     "FairShare",
     "JobTicket",
     "PREEMPTED",

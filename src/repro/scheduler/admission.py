@@ -21,12 +21,13 @@ controller never guesses at durations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.pftool.loadmanager import LoadManager
 from repro.scheduler.queues import JobTicket
 from repro.sim import SimulationError
 
-__all__ = ["AdmissionController", "AdmissionPolicy"]
+__all__ = ["AdmissionController", "AdmissionPolicy", "DegradedModePolicy"]
 
 
 @dataclass
@@ -49,8 +50,51 @@ class AdmissionPolicy:
             raise SimulationError("drive_reserve must be >= 0")
 
 
+@dataclass
+class DegradedModePolicy:
+    """How far the site degrades while unhealthy (brownout knobs)."""
+
+    #: active-job ceiling while in brownout (replaces max_active_jobs
+    #: when lower)
+    brownout_max_active: int = 4
+    #: drive reserve while in brownout — shrinking the operator reserve
+    #: lets the surviving drives absorb the backlog
+    brownout_drive_reserve: int = 0
+    #: fraction of tenants (lowest share first) shed during brownout
+    shed_fraction: float = 0.34
+    #: seconds between tenant readmissions while recovering
+    readmit_interval: float = 5.0
+    #: uniform jitter added to each readmission step (thundering-herd
+    #: suppression; drawn from the service's seeded stream)
+    readmit_jitter: float = 2.0
+    #: fenced-FTA fraction at which node loss alone forces brownout
+    node_down_brownout_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.brownout_max_active < 1:
+            raise SimulationError("brownout_max_active must be >= 1")
+        if self.brownout_drive_reserve < 0:
+            raise SimulationError("brownout_drive_reserve must be >= 0")
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            raise SimulationError("shed_fraction must be in [0, 1]")
+        if self.readmit_interval < 0 or self.readmit_jitter < 0:
+            raise SimulationError("readmission pacing must be >= 0")
+        if not 0.0 < self.node_down_brownout_fraction <= 1.0:
+            raise SimulationError(
+                "node_down_brownout_fraction must be in (0, 1]"
+            )
+
+
 class AdmissionController:
-    """Counts active load against the pools and says yes or no."""
+    """Counts active load against the pools and says yes or no.
+
+    With a :class:`~repro.health.HealthView` attached (see
+    ``ArchiveService.attach_health``) the controller also degrades:
+    retrieves are parked while the library or the tape catalog is
+    unhealthy (they would wedge on mounts or chase corrupt locations),
+    and brownout mode swaps in the :class:`DegradedModePolicy` ceiling
+    and drive reserve.
+    """
 
     def __init__(self, loadmanager: LoadManager, policy: AdmissionPolicy,
                  n_drives: int) -> None:
@@ -59,6 +103,13 @@ class AdmissionController:
         self.n_drives = n_drives
         self.active_jobs = 0
         self.reserved_drives = 0
+        #: HealthView consulted on every decision (None = always healthy)
+        self.health = None
+        self.brownout = False
+        self.brownout_policy = DegradedModePolicy()
+
+    def set_brownout(self, on: bool) -> None:
+        self.brownout = bool(on)
 
     # -- capacity queries ----------------------------------------------
     @property
@@ -66,12 +117,23 @@ class AdmissionController:
         return self.policy.slots_per_node * len(self.loadmanager.nodes)
 
     @property
+    def max_active(self) -> int:
+        if self.brownout:
+            return min(self.policy.max_active_jobs,
+                       self.brownout_policy.brownout_max_active)
+        return self.policy.max_active_jobs
+
+    @property
     def free_slots(self) -> int:
         return self.loadmanager.free_slots(self.policy.slots_per_node)
 
     @property
     def usable_drives(self) -> int:
-        return max(0, self.n_drives - self.policy.drive_reserve)
+        reserve = self.policy.drive_reserve
+        if self.brownout:
+            reserve = min(reserve,
+                          self.brownout_policy.brownout_drive_reserve)
+        return max(0, self.n_drives - reserve)
 
     def _drives_needed(self, ticket: JobTicket) -> int:
         # TapeProc ranks only spawn in the restore direction
@@ -98,9 +160,28 @@ class AdmissionController:
             )
 
     def admits(self, ticket: JobTicket) -> tuple[bool, str]:
-        """(True, "") to dispatch now, else (False, reason)."""
-        if self.active_jobs >= self.policy.max_active_jobs:
+        """(True, "") to dispatch now, else (False, reason).
+
+        Reasons ending in ``-fenced`` park the *tenant's head* without
+        blocking the whole dispatch loop (the service skips that tenant
+        this round); plain capacity reasons keep the strict head-of-line
+        wait.
+        """
+        if self.health is not None and ticket.op == "retrieve":
+            # a retrieve against a fenced library wedges on mounts; one
+            # against a corrupt catalog chases wrong tape locations
+            if not self.health.healthy("library"):
+                return False, "library-fenced"
+            if not self.health.healthy("catalog"):
+                return False, "catalog-fenced"
+        if self.active_jobs >= self.max_active:
+            if self.brownout and self.max_active < self.policy.max_active_jobs:
+                return False, "brownout"
             return False, "max-active-jobs"
+        if ticket.ranks > self.total_slots:
+            # the pool shrank (deregister) after this ticket validated;
+            # it can never run on the surviving nodes
+            return False, "pool-shrunk"
         if ticket.ranks > self.free_slots:
             return False, "fta-load"
         needed = self._drives_needed(ticket)

@@ -74,6 +74,9 @@ class JobTicket:
     resume_of: Optional[int] = None
     cancel_requested: bool = False
     preempt_requested: bool = False
+    #: preempted by the health plane (node drain) — the service auto-
+    #: resumes these once they settle, no operator involved
+    health_requeued: bool = False
     #: admission denial reason while head-of-queue (observability)
     blocked_on: str = ""
     #: FTA nodes (one entry per rank) charged to the LoadManager

@@ -32,7 +32,11 @@ from typing import Optional
 
 from repro.pftool.config import PftoolConfig
 from repro.recovery.journal import JobJournal
-from repro.scheduler.admission import AdmissionController, AdmissionPolicy
+from repro.scheduler.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    DegradedModePolicy,
+)
 from repro.scheduler.fairshare import FairShare
 from repro.scheduler.queues import (
     ACTIVE,
@@ -44,7 +48,7 @@ from repro.scheduler.queues import (
     JobTicket,
     TenantQueue,
 )
-from repro.sim import Event, SimulationError
+from repro.sim import Event, RandomStreams, SimulationError
 from repro.trace.metrics import MetricsRegistry
 
 __all__ = ["ArchiveService", "SchedulerConfig", "Tenant"]
@@ -101,6 +105,20 @@ class ArchiveService:
         self.deviation_samples: list[float] = []
         #: high-water mark of jobs in the system (queued + active)
         self.peak_in_flight = 0
+
+        # -- degraded-mode state (inert until attach_health) ------------
+        self._health = None
+        self._degraded = self._admission.brownout_policy
+        #: tenants shed during brownout (excluded from dispatch)
+        self._shed: set[str] = set()
+        self._readmit_rng = None
+        #: bumped on every brownout edge; stale readmission loops exit
+        self._readmit_epoch = 0
+        self._brownout_since: Optional[float] = None
+        #: (sim time, "enter" | "exit") brownout edges, in order
+        self.brownout_log: list[tuple[float, str]] = []
+        #: tickets preempted off dying nodes by the health plane
+        self.health_requeues = 0
 
     # ------------------------------------------------------------------
     # tenants
@@ -234,10 +252,164 @@ class ArchiveService:
         return True
 
     # ------------------------------------------------------------------
+    # degraded mode (health-aware admission, ROADMAP item 4(c))
+    # ------------------------------------------------------------------
+    def attach_health(self, view, degraded: Optional[DegradedModePolicy] = None,
+                      seed: int = 0) -> None:
+        """Subscribe the service to a :class:`~repro.health.HealthView`.
+
+        From here on the service fences FTA nodes the health plane marks
+        down (draining their jobs through the preempt→resume journal
+        path), parks retrieves while the library or catalog is unhealthy,
+        and runs brownout admission while TSM is degraded or too much of
+        the pool is fenced.  Readmission after recovery is rate-limited
+        and jittered from a seeded stream so restored capacity is not
+        stampeded.
+        """
+        if self._health is not None:
+            raise SimulationError("health view already attached")
+        self._health = view
+        self._admission.health = view
+        if degraded is not None:
+            self._admission.brownout_policy = degraded
+        self._degraded = self._admission.brownout_policy
+        self._readmit_rng = RandomStreams(seed).stream("sched.readmit")
+        view.subscribe(self._on_health_event)
+
+    def _on_health_event(self, component: str, old: str, new: str) -> None:
+        if component.startswith("node:"):
+            node = component[len("node:"):]
+            lm = self.system.loadmanager
+            if node in lm.nodes:
+                if new == "down" and node not in lm.fenced:
+                    lm.fence(node)
+                    self._trace_degraded("fence", node=node)
+                    self._drain_node(node)
+                elif new == "up" and node in lm.fenced:
+                    lm.unfence(node)
+                    self._trace_degraded("unfence", node=node)
+        self._update_brownout()
+        self._pump()
+
+    def _drain_node(self, node: str) -> None:
+        """Preempt every active job with ranks on *node*; the journal
+        path resumes them on healthy nodes once they settle."""
+        for ticket in list(self._active.values()):
+            if node in ticket.nodes_used and not ticket.cancel_requested:
+                if ticket.preempt_requested:
+                    continue
+                ticket.health_requeued = True
+                self.health_requeues += 1
+                self.preempt(ticket.job_id, reason=f"node {node} unhealthy")
+
+    def _update_brownout(self) -> None:
+        if self._health is None:
+            return
+        lm = self.system.loadmanager
+        fenced_frac = len(lm.fenced) / max(1, len(lm.nodes))
+        want = (
+            not self._health.healthy("tsm")
+            or fenced_frac >= self._degraded.node_down_brownout_fraction
+        )
+        if want and not self._admission.brownout:
+            self._enter_brownout()
+        elif not want and self._admission.brownout:
+            self._exit_brownout()
+
+    def _enter_brownout(self) -> None:
+        self._admission.set_brownout(True)
+        self._brownout_since = self.env.now
+        self._readmit_epoch += 1  # abort any in-flight readmission
+        self.brownout_log.append((self.env.now, "enter"))
+        # shed the lowest-share tenants first, keeping at least one
+        names = sorted(self._tenants.values(),
+                       key=lambda t: (t.weight, t.name))
+        n_shed = min(len(names) - 1,
+                     int(self._degraded.shed_fraction * len(names)))
+        self._shed = {t.name for t in names[:max(0, n_shed)]}
+        self._trace_degraded("brownout-enter", shed=sorted(self._shed))
+
+    def _exit_brownout(self) -> None:
+        self._admission.set_brownout(False)
+        self.brownout_log.append((self.env.now, "exit"))
+        self._brownout_since = None
+        self._trace_degraded("brownout-exit", shed=sorted(self._shed))
+        self._readmit_epoch += 1
+        if self._shed:
+            # readmit one tenant at a time, highest share first, with
+            # jittered pacing — no thundering herd onto the pools
+            self.env.process(
+                self._readmit(self._readmit_epoch),
+                name="sched-readmit", daemon=True,
+            )
+        else:
+            self._pump()
+
+    def _readmit(self, epoch: int):
+        order = sorted(
+            (t for t in self._tenants.values() if t.name in self._shed),
+            key=lambda t: (-t.weight, t.name),
+        )
+        for tenant in order:
+            delay = self._degraded.readmit_interval
+            if self._degraded.readmit_jitter > 0:
+                delay += float(
+                    self._readmit_rng.random() * self._degraded.readmit_jitter
+                )
+            yield self.env.timeout(delay)
+            if epoch != self._readmit_epoch:
+                return  # brownout re-entered; a fresh loop owns the rest
+            self._shed.discard(tenant.name)
+            self._trace_degraded("readmit", tenant=tenant.name)
+            self._pump()
+
+    @property
+    def brownout(self) -> bool:
+        return self._admission.brownout
+
+    @property
+    def shed_tenants(self) -> list[str]:
+        return sorted(self._shed)
+
+    def brownout_time(self) -> float:
+        """Total simulated seconds spent in brownout so far."""
+        total, since = 0.0, None
+        for t, edge in self.brownout_log:
+            if edge == "enter":
+                since = t
+            elif since is not None:
+                total += t - since
+                since = None
+        if since is not None:
+            total += self.env.now - since
+        return total
+
+    def degraded_summary(self) -> dict:
+        """Deterministic account of the health plane's interventions."""
+        return {
+            "brownouts": sum(
+                1 for _, e in self.brownout_log if e == "enter"
+            ),
+            "brownout_time": self.brownout_time(),
+            "health_requeues": self.health_requeues,
+            "shed": sorted(self._shed),
+            "fenced": list(self.system.loadmanager.fenced),
+        }
+
+    def _trace_degraded(self, what: str, **args) -> None:
+        tr = self.env.trace
+        if tr.enabled:
+            tr.instant(f"sched:{what}", tid="scheduler", cat="sched",
+                       args=args)
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def _backlogged(self) -> list[str]:
-        return [t for t, q in self._queues.items() if len(q) > 0]
+        return [
+            t for t, q in self._queues.items()
+            if len(q) > 0 and t not in self._shed
+        ]
 
     def _demanding(self) -> list[str]:
         """Tenants currently asking for service (queued or active)."""
@@ -247,14 +419,36 @@ class ArchiveService:
         ]
 
     def _pump(self) -> None:
+        parked: set[str] = set()
         while True:
-            backlogged = self._backlogged()
+            backlogged = [t for t in self._backlogged() if t not in parked]
             if not backlogged:
                 break
             tenant = self._fair.pick(backlogged)
             ticket = self._queues[tenant].peek()
             ok, reason = self._admission.admits(ticket)
             if not ok:
+                if reason == "pool-shrunk":
+                    # the FTA pool permanently shrank below this job's
+                    # needs; settle it now instead of pinning the queue
+                    ticket.blocked_on = reason
+                    self._queues[tenant].pop()
+                    ticket.cancel_requested = True
+                    self._settle(ticket, CANCELLED)
+                    self._note_depth()
+                    continue
+                if reason.endswith("-fenced"):
+                    # a fenced dependency parks this *tenant's* head;
+                    # other tenants' work (e.g. archives) still flows
+                    if ticket.blocked_on != reason:
+                        ticket.blocked_on = reason
+                        tr = self.env.trace
+                        if tr.enabled:
+                            tr.instant("sched:blocked", tid="scheduler",
+                                       args={"job_id": ticket.job_id,
+                                             "reason": reason})
+                    parked.add(tenant)
+                    continue
                 # Head-of-line wait: skipping the fair-share winner would
                 # starve expensive jobs behind cheap ones.  Capacity
                 # frees on the next completion, which pumps again.
@@ -330,6 +524,12 @@ class ArchiveService:
             # the job finished before the Abort could land
             state = COMPLETED
         self._settle(ticket, state)
+        if state == PREEMPTED and ticket.health_requeued and not (
+            ticket.cancel_requested
+        ):
+            # node-drain preemption: requeue immediately on the surviving
+            # pool — the resume shares the journal, so nothing re-copies
+            self.resume(ticket.job_id)
         self._pump()
 
     def _settle(self, ticket: JobTicket, state: str) -> None:

@@ -572,6 +572,72 @@ def test_ra011_ignores_call_later_inside_nested_def(tmp_path):
     assert result.findings == []
 
 
+# ---------------------------------------------------------------- RA012
+def test_ra012_flags_silently_swallowed_fault(tmp_path):
+    from repro.analysis.rules_health import SilentFaultSwallowRule
+
+    result = lint_source(
+        tmp_path,
+        "from repro.faults import TsmFault, DriveFault\n"
+        "def commit(tsm):\n"
+        "    try:\n"
+        "        tsm.begin_txn()\n"
+        "    except TsmFault:\n"
+        "        pass\n"
+        "    try:\n"
+        "        tsm.mount()\n"
+        "    except (OSError, DriveFault) as exc:\n"
+        "        log = str(exc)\n",
+        [SilentFaultSwallowRule()],
+    )
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 2
+    assert any("except TsmFault" in m for m in messages)
+    assert any("except DriveFault" in m for m in messages)
+    assert all("without recording" in m for m in messages)
+
+
+def test_ra012_recording_or_reraise_is_clean(tmp_path):
+    from repro.analysis.rules_health import SilentFaultSwallowRule
+
+    result = lint_source(
+        tmp_path,
+        "from repro.faults import TsmFault, DriveFault, CatalogFault\n"
+        "def commit(tsm, view, breaker):\n"
+        "    try:\n"
+        "        tsm.begin_txn()\n"
+        "    except TsmFault:\n"
+        "        view.on_fault('tsm', 'tsm')\n"
+        "    try:\n"
+        "        tsm.mount()\n"
+        "    except DriveFault:\n"
+        "        breaker.record_failure()\n"
+        "    try:\n"
+        "        tsm.lookup()\n"
+        "    except CatalogFault as exc:\n"
+        "        raise RuntimeError('fatal') from exc\n",
+        [SilentFaultSwallowRule()],
+    )
+    assert result.findings == []
+
+
+def test_ra012_ignores_non_fault_exceptions(tmp_path):
+    from repro.analysis.rules_health import SilentFaultSwallowRule
+
+    result = lint_source(
+        tmp_path,
+        "def best_effort(fn):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except (KeyError, ValueError):\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n",
+        [SilentFaultSwallowRule()],
+    )
+    assert result.findings == []
+
+
 # ----------------------------------------------------- CLI formats / exits
 def test_cli_sarif_output_is_valid_sarif(tmp_path, capsys):
     bad = tmp_path / "mod.py"

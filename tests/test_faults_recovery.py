@@ -302,12 +302,22 @@ def test_permanent_create_failure_drains_waiting_chunks():
 
 def test_node_outage_copies_retried_on_recovery():
     """An FTA node drops out while its workers hold copy batches; the
-    failed batches are retried after the outage and the job completes."""
+    failed batches are retried after the outage and the job completes.
+
+    The outage starts mid-copy (not at arming): control messages sent
+    into an outage window are now *delayed* past it rather than silently
+    delivered, so a window covering dispatch would simply idle the node.
+    Work already delivered still fails its data ops with the ``node``
+    class, and at least one in-flight message rides the delay path.
+    (start= is relative to arming, so 0.01 lands after the first batch
+    dispatch but well inside the ~0.04 s copy phase.)
+    """
     env = Environment()
     system = small_site(env)
     seed_scratch(env, system, {f"/d/f{i:02d}": 2 * MB for i in range(16)})
-    system.inject_faults(
-        FaultPlan(seed=sweep(9)).node_outage(node="fta1", start=0.0, duration=2.5)
+    injector = system.inject_faults(
+        FaultPlan(seed=sweep(9)).node_outage(node="fta1", start=0.01,
+                                             duration=2.5)
     )
     cfg = cfg_small(retry_backoff=1.0, retry_limit=4)
     job = system.archive("/d", "/a", cfg)
@@ -316,6 +326,8 @@ def test_node_outage_copies_retried_on_recovery():
     assert stats.files_copied == 16
     assert stats.files_failed == 0
     assert stats.retries_by_class.get("node", 0) >= 1
+    assert injector.delayed_messages >= 1
+    assert injector.injected.get("node", 0) >= 1
     for i in range(16):
         assert system.archive_fs.lookup(f"/a/f{i:02d}").size == 2 * MB
     assert_no_wedge(job)

@@ -1,0 +1,225 @@
+"""Sustained-failure regimes: mechanics + the overlap property.
+
+The hypothesis property at the bottom is the tentpole's composability
+claim: an *arbitrary seeded overlap* of regimes (library outage, FTA
+pool loss, TSM brownout) preserves job conservation and converges to
+the uncrashed oracle's end state once the regimes lift.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.faults import FaultPlan
+from repro.perf.drills import _canonical_digests
+from repro.pftool import PftoolConfig
+from repro.sim import Environment
+from repro.workloads.generators import preload_tree
+
+MB = 1_000_000
+
+
+def _site(env):
+    return ParallelArchiveSystem(env, ArchiveParams(
+        n_fta=4, n_disk_servers=2, n_tape_drives=2, n_scratch_tapes=4,
+    ))
+
+
+def _cfg():
+    return PftoolConfig(
+        num_workers=2, num_readdir=1, num_tapeprocs=0,
+        stat_batch=8, copy_batch=4,
+        stall_timeout=100000.0, retry_limit=10,
+        retry_backoff=1.0, retry_backoff_max=8.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# regime mechanics
+# ---------------------------------------------------------------------------
+
+def test_library_outage_fells_and_repairs_all_drives():
+    env = Environment()
+    system = _site(env)
+    system.inject_faults(FaultPlan(1).library_outage(start=5.0, duration=10.0))
+    env.run(until=6.0)
+    assert len(system.library.healthy_drives) == 0
+    env.run(until=16.0)
+    assert len(system.library.healthy_drives) == 2
+
+
+def test_pool_loss_staggers_windows_within_bounds():
+    env = Environment()
+    system = _site(env)
+    nodes = list(system.loadmanager.nodes)[:3]
+    injector = system.inject_faults(
+        FaultPlan(11).pool_loss(nodes, start=10.0, duration=20.0, stagger=5.0)
+    )
+    # staggered starts: every window begins inside [start, start+stagger)
+    # and not all nodes drop at the same instant
+    windows = {w.node: w for w in injector._node_windows}
+    assert set(windows) == set(nodes)
+    starts = sorted(w.start for w in windows.values())
+    assert starts[0] >= 10.0
+    assert starts[-1] < 15.0
+    assert len(set(starts)) > 1
+    env.run(until=16.0)  # inside every window (all start < 15, end > 30)
+    assert all(injector.node_down(n) for n in nodes)
+    env.run(until=36.0)  # past every window
+    assert not any(injector.node_down(n) for n in nodes)
+
+
+def test_tsm_brownout_inflates_latency_then_restores():
+    env = Environment()
+    system = _site(env)
+    base = system.tsm.txn_time
+    system.inject_faults(
+        FaultPlan(2).tsm_brownout(start=5.0, duration=10.0, latency_factor=8.0)
+    )
+    env.run(until=6.0)
+    assert system.tsm.txn_time == pytest.approx(base * 8.0)
+    env.run(until=16.0)
+    assert system.tsm.txn_time == pytest.approx(base)
+
+
+def test_catalog_corruption_damages_then_reconciles():
+    env = Environment()
+    system = _site(env)
+    system.scratch_fs.mkdir("/d", parents=True)
+    for i in range(4):
+        env.run(system.scratch_fs.create_sized(f"/d/f{i}", 2 * MB))
+    env.run(system.archive("/d", "/arc/d").done)
+    env.run(system.migrate_to_tape())
+    rows_before = sorted(
+        (r["object_id"], r["volume"], r["seq"])
+        for r in system.tsm.export_rows()
+    )
+    injector = system.inject_faults(
+        FaultPlan(5).catalog_corruption(at=1.0, rows=2, drop=1)
+    )
+    env.run(until=env.now + 2.0)
+    assert injector.injected.get("catalog", 0) == 3
+    # TSM's catalog is ground truth and untouched; the index disagrees
+    rows_after = sorted(
+        (r["object_id"], r["volume"], r["seq"])
+        for r in system.tsm.export_rows()
+    )
+    assert rows_after == rows_before
+    damaged = [
+        oid for oid, vol, seq in rows_before
+        if (loc := system.tapedb.location_of(oid)) is None
+        or (loc.volume, loc.seq) != (vol, seq)
+    ]
+    assert len(damaged) == 3
+    env.run(system.exporter.run_once())
+    assert all(
+        (loc := system.tapedb.location_of(oid)) is not None
+        and (loc.volume, loc.seq) == (vol, seq)
+        for oid, vol, seq in rows_before
+    )
+
+
+def test_regimes_are_trace_stamped():
+    from repro.trace import tracing
+    from repro.trace.assertions import TraceAssertions
+
+    with tracing() as tracer:
+        env = Environment()
+        system = _site(env)
+        system.inject_faults(
+            FaultPlan(1)
+            .library_outage(start=2.0, duration=4.0)
+            .tsm_brownout(start=3.0, duration=4.0)
+        )
+        env.run(until=10.0)
+    ta = TraceAssertions(tracer)
+    regimes = ta.select("fault:regime", ph="i")
+    kinds = {(ev["args"]["kind"], ev["args"]["phase"]) for ev in regimes}
+    assert ("library-outage", "begin") in kinds
+    assert ("library-outage", "end") in kinds
+    assert ("tsm-brownout", "begin") in kinds
+    assert ("tsm-brownout", "end") in kinds
+
+
+# ---------------------------------------------------------------------------
+# overlap property: conservation + oracle convergence
+# ---------------------------------------------------------------------------
+
+def _workload(seed: int, plan_of) -> dict:
+    """Two trees archived through whatever regimes *plan_of* arms."""
+    env = Environment()
+    system = _site(env)
+    for j in range(2):
+        preload_tree(system.scratch_fs, f"/w/t{j}",
+                     [1 * MB + 512 * 1024 * j + 100 * seed, 2 * MB])
+    plan = plan_of(FaultPlan(seed), list(system.loadmanager.nodes))
+    injector = system.inject_faults(plan) if plan is not None else None
+    jobs = [
+        system.archive(f"/w/t{j}", f"/arc/t{j}", _cfg()) for j in range(2)
+    ]
+    stats = [env.run(job.done) for job in jobs]
+    env.run()
+    return {
+        "system": system,
+        "stats": stats,
+        "injector": injector,
+        "digests": _canonical_digests_for(system),
+    }
+
+
+def _canonical_digests_for(system):
+    from repro.recovery.chaos import end_state
+
+    token_of = {}
+    entries = end_state(system.scratch_fs, "/w")
+    for rel in sorted(entries):
+        _size, tok = entries[rel]
+        token_of.setdefault(tok, rel)
+    return {
+        rel: (size, token_of.get(tok, ("raw", tok)))
+        for rel, (size, tok) in end_state(system.archive_fs, "/arc").items()
+    }
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**16),
+    lib_start=st.floats(0.0, 0.06),
+    lib_dur=st.floats(0.01, 0.15),
+    pool_start=st.floats(0.0, 0.06),
+    pool_dur=st.floats(0.01, 0.15),
+    pool_n=st.integers(0, 2),
+    brown_start=st.floats(0.0, 0.06),
+    brown_dur=st.floats(0.01, 0.15),
+)
+def test_overlapping_regimes_preserve_conservation_and_oracle(
+    seed, lib_start, lib_dur, pool_start, pool_dur, pool_n,
+    brown_start, brown_dur,
+):
+    """Any seeded overlap of the three windowed regimes: every file
+    lands, nothing is silently lost, and the end state matches the
+    fault-free oracle byte for byte."""
+
+    def plan_of(plan, nodes):
+        plan.library_outage(start=lib_start, duration=lib_dur)
+        plan.tsm_brownout(start=brown_start, duration=brown_dur,
+                         latency_factor=6.0)
+        if pool_n:
+            plan.pool_loss(nodes[:pool_n], start=pool_start,
+                           duration=pool_dur, stagger=pool_dur / 2)
+        return plan
+
+    faulted = _workload(seed, plan_of)
+    oracle = _workload(seed, lambda plan, nodes: None)
+
+    # conservation: every file the oracle archived, the faulted run
+    # archived too — none aborted, none failed out of retries
+    for st_f, st_o in zip(faulted["stats"], oracle["stats"]):
+        assert not st_f.aborted
+        assert st_f.files_copied == st_o.files_copied
+        assert st_f.bytes_copied == st_o.bytes_copied
+        assert getattr(st_f, "files_failed", 0) == 0
+    # oracle convergence: identical end state under /arc
+    assert faulted["digests"] == oracle["digests"]

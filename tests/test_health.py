@@ -1,0 +1,339 @@
+"""The health plane: detectors, breakers, HealthView, site monitor.
+
+The stateful hypothesis machine at the bottom pins the breaker's load-
+bearing invariant — the ONLY edge into ``closed`` is a ``half_open``
+probe success — against arbitrary interleavings of failures, successes,
+gating calls and clock advances.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.faults import FaultPlan
+from repro.health import (
+    CLOSED,
+    DOWN,
+    HALF_OPEN,
+    OPEN,
+    SUSPECT,
+    UP,
+    CircuitBreaker,
+    HealthView,
+)
+from repro.health.detector import DetectorConfig, FailureDetector
+from repro.health.monitor import SiteHealthMonitor, verify_catalog
+from repro.sim import Environment, SimulationError
+
+
+def _advance(env, dt):
+    env.run(until=env.now + dt)
+
+
+# ---------------------------------------------------------------------------
+# HealthView
+# ---------------------------------------------------------------------------
+
+def test_view_states_and_phi():
+    env = Environment()
+    view = HealthView(env)
+    view.register("tsm", probe_interval=5.0, phi_threshold=2.0, down_after=2)
+
+    assert view.state("tsm") == UP
+    assert view.state("unregistered") == UP  # health is opt-in
+
+    view.observe("tsm", False)
+    assert view.state("tsm") == SUSPECT
+    view.observe("tsm", False)
+    assert view.state("tsm") == DOWN
+    view.observe("tsm", True)
+    assert view.state("tsm") == UP
+
+    # phi-style suspicion: no observations for > phi_threshold intervals
+    _advance(env, 11.0)
+    assert view.phi("tsm") == pytest.approx(11.0 / 5.0)
+    assert view.state("tsm") == SUSPECT
+
+
+def test_view_publishes_transitions_to_subscribers():
+    env = Environment()
+    view = HealthView(env)
+    view.register("node:fta0", down_after=2)
+    seen = []
+    view.subscribe(lambda name, old, new: seen.append((name, old, new)))
+
+    view.observe("node:fta0", False)
+    view.observe("node:fta0", False)
+    view.observe("node:fta0", True)
+    assert seen == [
+        ("node:fta0", UP, SUSPECT),
+        ("node:fta0", SUSPECT, DOWN),
+        ("node:fta0", DOWN, UP),
+    ]
+    assert view.component("node:fta0").history == [
+        (0.0, SUSPECT), (0.0, DOWN), (0.0, UP),
+    ]
+
+
+def test_view_duplicate_registration_rejected():
+    env = Environment()
+    view = HealthView(env)
+    view.register("x")
+    with pytest.raises(SimulationError):
+        view.register("x")
+
+
+def test_on_fault_counts_and_trips_breaker():
+    env = Environment()
+    view = HealthView(env)
+    brk = CircuitBreaker(env, "tsm", failure_threshold=2, reset_timeout=10.0)
+    view.register("tsm", breaker=brk)
+
+    view.on_fault("tsm", "tsm")
+    assert view.fault_counts[("tsm", "tsm")] == 1
+    assert view.state("tsm") == UP  # one failure, threshold 2
+    view.on_fault("tsm", "tsm")
+    # client-observed errors tripped the breaker between probes
+    assert brk.state == OPEN
+    assert view.state("tsm") == DOWN
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+def test_breaker_trip_halfopen_close_cycle():
+    env = Environment()
+    brk = CircuitBreaker(env, "lib", failure_threshold=2, reset_timeout=10.0)
+    assert brk.allow()
+    brk.record_failure()
+    assert brk.state == CLOSED
+    brk.record_failure()
+    assert brk.state == OPEN
+    assert not brk.allow()  # still inside the reset window
+
+    _advance(env, 10.0)
+    assert brk.allow()  # admits the single trial
+    assert brk.state == HALF_OPEN
+    brk.record_success()
+    assert brk.state == CLOSED
+    assert [(frm, to) for _, frm, to in brk.transitions] == [
+        (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+    ]
+
+
+def test_breaker_halfopen_failure_reopens_and_restarts_clock():
+    env = Environment()
+    brk = CircuitBreaker(env, "lib", failure_threshold=1, reset_timeout=5.0)
+    brk.record_failure()
+    _advance(env, 5.0)
+    assert brk.allow() and brk.state == HALF_OPEN
+    brk.record_failure()
+    assert brk.state == OPEN
+    _advance(env, 4.0)
+    assert not brk.allow()  # reset clock restarted at the re-open
+    _advance(env, 1.0)
+    assert brk.allow() and brk.state == HALF_OPEN
+
+
+def test_breaker_success_while_closed_resets_failure_count():
+    env = Environment()
+    brk = CircuitBreaker(env, "x", failure_threshold=3)
+    brk.record_failure()
+    brk.record_failure()
+    brk.record_success()
+    brk.record_failure()
+    brk.record_failure()
+    assert brk.state == CLOSED  # never 3 consecutive
+
+
+# ---------------------------------------------------------------------------
+# FailureDetector
+# ---------------------------------------------------------------------------
+
+def test_detector_marks_down_and_recovers_with_backoff():
+    env = Environment()
+    view = HealthView(env)
+    cfg = DetectorConfig(probe_interval=5.0, down_after=2,
+                         probe_backoff=1.0, probe_backoff_max=4.0)
+    view.register("svc", probe_interval=cfg.probe_interval,
+                  down_after=cfg.down_after)
+    healthy = [True]
+    det = FailureDetector(env, view, "svc", lambda: healthy[0], config=cfg)
+
+    _advance(env, 12.0)  # healthy probes at 0, 5, 10
+    assert view.state("svc") == UP
+    probes_before = det.probes
+
+    healthy[0] = False
+    # failure backoff probes at 15, 16, 18, 22, 26 (1, 2, 4, 4 capped)
+    _advance(env, 15.0)  # now = 27
+    assert view.state("svc") == DOWN
+    # backoff re-probes faster than the healthy interval would have
+    assert det.probes - probes_before >= 4
+
+    healthy[0] = True
+    _advance(env, 5.0)
+    assert view.state("svc") == UP
+    det.stop()
+    env.run()  # queue drains: the daemon loop is gone
+
+
+def test_detector_open_breaker_suppresses_probes():
+    env = Environment()
+    view = HealthView(env)
+    cfg = DetectorConfig(probe_interval=2.0, down_after=2,
+                         probe_backoff=1.0, probe_backoff_max=2.0,
+                         breaker_failures=2, breaker_reset=30.0)
+    brk = CircuitBreaker(env, "svc", failure_threshold=cfg.breaker_failures,
+                         reset_timeout=cfg.breaker_reset)
+    view.register("svc", probe_interval=cfg.probe_interval,
+                  down_after=cfg.down_after, breaker=brk)
+    det = FailureDetector(env, view, "svc", lambda: False, config=cfg)
+
+    _advance(env, 10.0)
+    assert brk.state == OPEN
+    tripped_at = det.probes
+    _advance(env, 15.0)  # still inside reset_timeout
+    assert det.probes == tripped_at  # open breaker: no probe traffic
+    det.stop()
+
+
+# ---------------------------------------------------------------------------
+# SiteHealthMonitor
+# ---------------------------------------------------------------------------
+
+def _small_site(env):
+    return ParallelArchiveSystem(env, ArchiveParams(
+        n_fta=2, n_disk_servers=1, n_tape_drives=2, n_scratch_tapes=4,
+    ))
+
+
+def test_monitor_watches_standard_components():
+    env = Environment()
+    system = _small_site(env)
+    mon = SiteHealthMonitor(env, system, config=DetectorConfig(
+        probe_interval=2.0, down_after=2))
+    names = set(mon.view.components)
+    assert {"library", "tsm", "catalog"} <= names
+    assert {n for n in names if n.startswith("node:")} == {
+        f"node:{n}" for n in system.loadmanager.nodes
+    }
+    assert mon.breaker("library") is not None
+    assert mon.breaker("tsm") is not None
+
+    _advance(env, 10.0)
+    assert all(s == UP for s in mon.view.snapshot().values())
+    mon.stop()
+    env.run()
+
+
+def test_monitor_sees_library_outage_and_recovery():
+    env = Environment()
+    system = _small_site(env)
+    mon = SiteHealthMonitor(env, system, config=DetectorConfig(
+        probe_interval=2.0, down_after=2, probe_backoff=1.0,
+        probe_backoff_max=2.0, breaker_failures=2, breaker_reset=6.0))
+    system.inject_faults(
+        FaultPlan(7).library_outage(start=4.0, duration=12.0),
+        health=mon.view,
+    )
+    _advance(env, 10.0)
+    assert mon.view.state("library") == DOWN
+    _advance(env, 20.0)  # repair + breaker reset + half-open probe
+    assert mon.view.state("library") == UP
+    # the breaker walked the legal reopen path, ending closed
+    edges = [(f, t) for _, f, t in mon.breaker("library").transitions]
+    assert edges[0] == (CLOSED, OPEN)
+    assert edges[-1] == (HALF_OPEN, CLOSED)
+    mon.stop()
+
+
+def test_verify_catalog_counts_damage():
+    env = Environment()
+    system = _small_site(env)
+    system.scratch_fs.mkdir("/d", parents=True)
+    env.run(system.scratch_fs.create_sized("/d/f0", 4_000_000))
+    env.run(system.archive("/d", "/arc/d").done)
+    env.run(system.migrate_to_tape())
+    assert verify_catalog(system.tapedb, system.tsm) == 0
+    system.inject_faults(FaultPlan(3).catalog_corruption(at=1.0, rows=1))
+    _advance(env, 2.0)
+    assert verify_catalog(system.tapedb, system.tsm) >= 1
+    # reconcile: re-export restores the index from TSM's ground truth
+    env.run(system.exporter.run_once())
+    assert verify_catalog(system.tapedb, system.tsm) == 0
+
+
+# ---------------------------------------------------------------------------
+# stateful breaker machine
+# ---------------------------------------------------------------------------
+
+class BreakerMachine(RuleBasedStateMachine):
+    """Arbitrary action interleavings never forge a closed-ward edge.
+
+    Tracks every ``record_success()`` issued while the breaker sat in
+    ``half_open`` — the only legitimate cause of a ``-> closed``
+    transition — and checks the transition ledger edge by edge.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.brk = CircuitBreaker(self.env, "svc", failure_threshold=2,
+                                  reset_timeout=5.0)
+        #: times at which a half-open probe success happened
+        self.legal_closes = []
+        self.checked = 0
+
+    @rule()
+    def fail(self):
+        self.brk.record_failure()
+
+    @rule()
+    def succeed(self):
+        if self.brk.state == HALF_OPEN:
+            self.legal_closes.append(self.env.now)
+        self.brk.record_success()
+
+    @rule()
+    def gate(self):
+        allowed = self.brk.allow()
+        if self.brk.state == OPEN:
+            assert not allowed
+
+    @rule(dt=st.floats(min_value=0.5, max_value=10.0))
+    def advance(self, dt):
+        _advance(self.env, dt)
+
+    @invariant()
+    def closed_only_via_halfopen_success(self):
+        closes = [
+            (t, frm) for t, frm, to in self.brk.transitions if to == CLOSED
+        ]
+        for t, frm in closes:
+            assert frm == HALF_OPEN, f"illegal {frm} -> closed at t={t}"
+            assert t in self.legal_closes, (
+                f"closed at t={t} without a half-open probe success"
+            )
+
+    @invariant()
+    def edges_are_legal(self):
+        legal = {
+            (CLOSED, OPEN), (OPEN, HALF_OPEN),
+            (HALF_OPEN, OPEN), (HALF_OPEN, CLOSED),
+        }
+        edges = [(f, t) for _, f, t in self.brk.transitions]
+        assert all(e in legal for e in edges), edges
+        # ...and consecutive transitions chain: to[i] == from[i+1]
+        for (_, _, to), (_, frm, _) in zip(self.brk.transitions,
+                                           self.brk.transitions[1:]):
+            assert to == frm
+
+
+TestBreakerStateful = BreakerMachine.TestCase
+TestBreakerStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None,
+)

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.disksim import DiskArray
-from repro.faults import CrashFault
+from repro.faults import CrashFault, classify_failure
 from repro.pfs import GpfsFileSystem, StoragePool
 from repro.pftool import PftoolConfig, RuntimeContext
 from repro.pftool.job import PftoolJob, pfcp
@@ -109,8 +109,8 @@ def test_resume_from_any_journal_prefix_converges_to_oracle(k):
     journal.after_append = hook
     try:
         env.run(job.done)
-    except CrashFault:
-        pass
+    except CrashFault as exc:
+        assert classify_failure(exc) == "crash"
     env.run()  # drain torn I/O
 
     # the fsync'd journal lost every record past the crash prefix

@@ -1,0 +1,260 @@
+"""Health-aware degraded-mode scheduling: fence, park, brownout, readmit.
+
+Drives the :class:`~repro.scheduler.ArchiveService` through a
+hand-held :class:`~repro.health.HealthView` (observations injected
+directly, no detectors) so each degradation path is exercised in
+isolation and deterministically.
+"""
+
+import pytest
+
+from repro.archive import ArchiveParams, ParallelArchiveSystem
+from repro.health import DOWN, HealthView
+from repro.pftool import PftoolConfig
+from repro.pftool.loadmanager import LoadManager
+from repro.scheduler.admission import AdmissionPolicy, DegradedModePolicy
+from repro.scheduler.queues import CANCELLED, COMPLETED, PREEMPTED, QUEUED
+from repro.scheduler.service import ArchiveService, SchedulerConfig
+from repro.sim import Environment, SimulationError
+from repro.workloads.generators import preload_tree
+
+MB = 1_000_000
+
+
+# ---------------------------------------------------------------------------
+# LoadManager fencing / deregistration (satellite fix)
+# ---------------------------------------------------------------------------
+
+def test_loadmanager_fence_excludes_from_placement():
+    env = Environment()
+    lm = LoadManager(env, ["a", "b", "c"])
+    lm.fence("b")
+    assert lm.fenced == ["b"]
+    assert lm.machine_list() == ["a", "c"]
+    assert lm.active_nodes == ["a", "c"]
+    assert lm.free_slots(4) == 8  # b's headroom is not placeable
+    lm.fence("b")  # idempotent
+    lm.unfence("b")
+    assert lm.fenced == []
+    assert lm.machine_list() == ["a", "b", "c"]
+
+
+def test_loadmanager_fence_unknown_node_raises():
+    env = Environment()
+    lm = LoadManager(env, ["a"])
+    with pytest.raises(SimulationError):
+        lm.fence("ghost")
+    with pytest.raises(SimulationError):
+        lm.unfence("ghost")
+
+
+def test_loadmanager_job_started_on_fenced_node_is_strict():
+    env = Environment()
+    lm = LoadManager(env, ["a", "b"])
+    lm.fence("b")
+    with pytest.raises(SimulationError, match="fenced"):
+        lm.job_started(["a", "b"])
+    # the rejected start must not have leaked partial accounting
+    assert lm.total_load == 0
+    # finishing a job that started before the fence is still legal
+    lm.unfence("b")
+    lm.job_started(["a", "b"])
+    lm.fence("b")
+    lm.job_finished(["a", "b"])
+    assert lm.total_load == 0
+
+
+def test_loadmanager_deregister_guards():
+    env = Environment()
+    lm = LoadManager(env, ["a", "b"])
+    with pytest.raises(SimulationError, match="unknown"):
+        lm.deregister("ghost")
+    lm.job_started(["b"])
+    with pytest.raises(SimulationError, match="drain or requeue"):
+        lm.deregister("b")
+    lm.job_finished(["b"])
+    lm.fence("b")
+    lm.deregister("b")
+    assert lm.nodes == ["a"] and lm.fenced == []
+    with pytest.raises(SimulationError):
+        lm.load_of("b")
+
+
+# ---------------------------------------------------------------------------
+# service under a hand-held HealthView
+# ---------------------------------------------------------------------------
+
+def _build(n_fta=4, max_active=4, policy=None):
+    env = Environment()
+    system = ParallelArchiveSystem(env, ArchiveParams(
+        n_fta=n_fta, n_disk_servers=2, n_tape_drives=4, n_scratch_tapes=8,
+        metadata_op_time=0.0002,
+    ))
+    service = ArchiveService(system, SchedulerConfig(
+        policy=AdmissionPolicy(slots_per_node=12,
+                               max_active_jobs=max_active),
+        default_cfg=PftoolConfig(
+            num_workers=2, num_readdir=1, num_tapeprocs=1,
+            stat_batch=8, copy_batch=4,
+        ),
+    ))
+    view = HealthView(env)
+    view.register("library", down_after=1)
+    view.register("catalog", down_after=1)
+    view.register("tsm", down_after=1)
+    for node in system.loadmanager.nodes:
+        view.register(f"node:{node}", down_after=1)
+    service.attach_health(view, degraded=policy or DegradedModePolicy(
+        brownout_max_active=1, shed_fraction=0.4,
+        readmit_interval=2.0, readmit_jitter=1.0,
+        node_down_brownout_fraction=0.5,
+    ), seed=42)
+    return env, system, service, view
+
+
+def _submit_tree(env, system, service, tenant, k, op="archive"):
+    if op == "archive":
+        preload_tree(system.scratch_fs, f"/t/{tenant}{k}", [2 * MB, 1 * MB])
+        return service.submit(tenant, op, f"/t/{tenant}{k}",
+                              f"/arc/{tenant}{k}")
+    return service.submit(tenant, op, f"/arc/{tenant}{k}",
+                          f"/back/{tenant}{k}")
+
+
+def test_attach_health_is_once_only():
+    env, system, service, view = _build()
+    with pytest.raises(SimulationError, match="already attached"):
+        service.attach_health(view)
+
+
+def test_retrieves_park_while_library_fenced_archives_flow():
+    env, system, service, view = _build()
+    service.add_tenant("r", weight=1.0)
+    service.add_tenant("a", weight=1.0)
+    # seed an archive so the retrieve has something to fetch
+    t = _submit_tree(env, system, service, "r", 0)
+    env.run(service.drain())
+    assert t.state == COMPLETED
+
+    view.observe("library", False)
+    assert view.state("library") == DOWN
+    ret = service.submit("r", "retrieve", "/arc/r0", "/back/r0")
+    arc = _submit_tree(env, system, service, "a", 1)
+    env.run(until=env.now + 2.0)
+    # the retrieve parked on its tenant head; the archive sailed through
+    assert ret.state == QUEUED and ret.blocked_on == "library-fenced"
+    assert arc.state == COMPLETED
+
+    view.observe("library", True)  # recovery pumps the parked tenant
+    env.run(service.drain())
+    assert ret.state == COMPLETED
+
+
+def test_retrieves_park_while_catalog_fenced():
+    env, system, service, view = _build()
+    service.add_tenant("u", weight=1.0)
+    t = _submit_tree(env, system, service, "u", 0)
+    env.run(service.drain())
+    assert t.state == COMPLETED
+    view.observe("catalog", False)
+    ret = service.submit("u", "retrieve", "/arc/u0", "/back/u0")
+    env.run(until=env.now + 1.0)
+    assert ret.state == QUEUED and ret.blocked_on == "catalog-fenced"
+    view.observe("catalog", True)
+    env.run(service.drain())
+    assert ret.state == COMPLETED
+
+
+def test_node_down_fences_drains_and_auto_resumes():
+    env, system, service, view = _build()
+    service.add_tenant("u", weight=1.0)
+    tickets = [_submit_tree(env, system, service, "u", k) for k in range(2)]
+    env.run(until=env.now + 0.005)  # jobs are mid-flight
+    active = [t for t in tickets if t.state == "active"]
+    assert active
+    victim_node = active[0].nodes_used[0]
+
+    view.observe(f"node:{victim_node}", False)
+    assert victim_node in system.loadmanager.fenced
+    env.run(service.drain())
+    env.run()
+
+    # drained jobs were preempted with the health flag and auto-resumed
+    assert service.health_requeues >= 1
+    requeued = [t for t in tickets if t.state == PREEMPTED]
+    assert requeued and all(t.health_requeued for t in requeued)
+    resumed = [
+        t for t in service._tickets.values() if t.resume_of is not None
+    ]
+    assert {t.resume_of for t in resumed} == {t.job_id for t in requeued}
+    assert all(t.state == COMPLETED for t in resumed)
+    # resumes landed off the fenced node
+    assert all(victim_node not in t.nodes_used for t in resumed)
+
+    view.observe(f"node:{victim_node}", True)
+    assert victim_node not in system.loadmanager.fenced
+
+
+def test_tsm_down_enters_brownout_sheds_and_readmits():
+    env, system, service, view = _build()
+    for name, w in (("heavy", 3.0), ("mid", 2.0), ("light", 1.0)):
+        service.add_tenant(name, weight=w)
+
+    view.observe("tsm", False)
+    assert service.brownout
+    # shed_fraction 0.4 of 3 tenants = 1: the lowest-share tenant
+    assert service.shed_tenants == ["light"]
+    assert service._admission.max_active == 1
+
+    # the shed tenant's submissions queue but do not dispatch
+    t_light = _submit_tree(env, system, service, "light", 0)
+    t_heavy = _submit_tree(env, system, service, "heavy", 0)
+    env.run(until=env.now + 1.0)
+    assert t_light.state == QUEUED
+    assert t_heavy.state in ("active", "completed")
+
+    view.observe("tsm", True)  # recovery: jittered readmission
+    assert not service.brownout
+    assert service.shed_tenants == ["light"]  # not yet readmitted
+    env.run(service.drain())
+    env.run()
+    assert service.shed_tenants == []
+    assert t_light.state == COMPLETED
+    assert service.degraded_summary()["brownouts"] == 1
+    assert service.brownout_time() > 0.0
+
+
+def test_fenced_majority_forces_brownout_without_tsm():
+    env, system, service, view = _build()
+    service.add_tenant("u", weight=1.0)
+    nodes = list(system.loadmanager.nodes)
+    view.observe(f"node:{nodes[0]}", False)
+    assert not service.brownout  # 1/4 fenced < 0.5
+    view.observe(f"node:{nodes[1]}", False)
+    assert service.brownout  # 2/4 fenced >= 0.5
+    view.observe(f"node:{nodes[0]}", True)
+    assert not service.brownout
+
+
+def test_pool_shrunk_cancels_unrunnable_ticket():
+    env, system, service, view = _build(n_fta=2)
+    service.add_tenant("u", weight=1.0)
+    a, b = system.loadmanager.nodes
+    # fence the whole pool so the big job queues instead of dispatching
+    view.observe(f"node:{a}", False)
+    view.observe(f"node:{b}", False)
+    # 21 ranks validate against 2 nodes x 12 slots, but nothing is free
+    big_cfg = PftoolConfig(num_workers=16, num_readdir=1, num_tapeprocs=1)
+    preload_tree(system.scratch_fs, "/t/big", [2 * MB])
+    big = service.submit("u", "archive", "/t/big", "/arc/big", cfg=big_cfg)
+    assert big.ranks == 21
+    assert big.state == QUEUED and big.blocked_on == "fta-load"
+    # the pool permanently shrinks under the queued ticket
+    system.loadmanager.deregister(b)
+    view.observe(f"node:{a}", True)  # recovery pumps the queue
+    # 21 ranks can never fit 1 node x 12 slots: settled, not pinned
+    assert big.state == CANCELLED
+    assert big.blocked_on == "pool-shrunk"
+    s = service.summary()
+    assert s["submitted"] == s["completed"] + s["cancelled"] + s["preempted"]
+    assert s["cancelled"] == 1
